@@ -1,0 +1,45 @@
+# fastinvert — reproduction of Wei & JaJa, "A Fast Algorithm for
+# Constructing Inverted Files on Heterogeneous Platforms" (IPDPS 2011).
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments tools clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/gpu/ ./internal/gpuindexer/ ./internal/mapreduce/
+
+# One pass over every table/figure/ablation benchmark with metrics.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every byte-level decoder.
+fuzz:
+	$(GO) test ./internal/encoding/ -fuzz FuzzUvarByte -fuzztime 30s
+	$(GO) test ./internal/encoding/ -fuzz FuzzDecodePostings -fuzztime 30s
+	$(GO) test ./internal/encoding/ -fuzz FuzzBitGammaGolomb -fuzztime 30s
+	$(GO) test ./internal/parser/ -fuzz FuzzParseDoc -fuzztime 30s
+	$(GO) test ./internal/parser/ -fuzz FuzzGroupForEach -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzParseRun -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzReadDictionary -fuzztime 30s
+
+# Paper-style tables and figures (EXPERIMENTS.md reference data).
+experiments:
+	$(GO) run ./cmd/benchrunner -all -files 16 -scale 1 -trials 3
+
+tools:
+	$(GO) build -o bin/hetindex ./cmd/hetindex
+	$(GO) build -o bin/corpusgen ./cmd/corpusgen
+	$(GO) build -o bin/indexquery ./cmd/indexquery
+	$(GO) build -o bin/benchrunner ./cmd/benchrunner
+
+clean:
+	rm -rf bin

@@ -1,0 +1,190 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§IV). Each benchmark runs the full experiment at a
+// reduced scale and reports the headline quantity as a custom metric,
+// so `go test -bench .` prints the whole reproduction in one sweep;
+// `cmd/benchrunner` renders the same experiments as paper-style tables
+// at any scale.
+package fastinvert_test
+
+import (
+	"testing"
+
+	"fastinvert/internal/experiments"
+)
+
+func benchScale() experiments.Scale { return experiments.Scale{Files: 8, Factor: 0.5} }
+
+func init() {
+	// One trial per configuration inside benchmarks; testing.B
+	// already repeats the whole experiment.
+	experiments.Trials = 1
+}
+
+// BenchmarkTableIII regenerates the collection statistics table.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableIII(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[0].Tokens), "clueweb-tokens")
+	}
+}
+
+// BenchmarkTableIV regenerates the four indexer-configuration timings.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableIV(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[3].IndexTputMBps, "hybrid-idx-MB/s")
+		b.ReportMetric(rows[2].IndexTputMBps, "2cpu-idx-MB/s")
+	}
+}
+
+// BenchmarkTableV regenerates the CPU/GPU workload split.
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.TableV(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.GPUTerms)/float64(r.CPUTerms), "gpu/cpu-terms")
+	}
+}
+
+// BenchmarkTableVI regenerates the cross-collection performance table.
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableVI(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].ThroughputMBps, "clueweb-MB/s")
+		b.ReportMetric(rows[2].ThroughputMBps, "wikipedia-MB/s")
+		b.ReportMetric(rows[3].ThroughputMBps, "loc-MB/s")
+	}
+}
+
+// BenchmarkFig10 regenerates the parser-count sweep.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[5].WithGPUs, "m6-gpu-MB/s")
+		b.ReportMetric(pts[5].ParseOnly, "m6-parseonly-MB/s")
+	}
+}
+
+// BenchmarkFig11 regenerates the per-file throughput series.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, shift, err := experiments.Fig11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := series[2].Throughput
+		b.ReportMetric(last[0], "first-file-MB/s")
+		b.ReportMetric(last[shift], "post-shift-MB/s")
+	}
+}
+
+// BenchmarkFig12 regenerates the MapReduce comparison.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].PerCoreMBps, "ours-percore-MB/s")
+		b.ReportMetric(rows[2].PerCoreMBps, "ivory-percore-MB/s")
+		b.ReportMetric(rows[3].PerCoreMBps, "spmr-percore-MB/s")
+	}
+}
+
+// BenchmarkAblationRegroup measures §III.C's regrouping speedup.
+func BenchmarkAblationRegroup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationRegroup(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Speedup(), "speedup-x")
+	}
+}
+
+// BenchmarkAblationStringCache measures the node string caches.
+func BenchmarkAblationStringCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationStringCache(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Speedup(), "speedup-x")
+	}
+}
+
+// BenchmarkAblationTrieHeight measures the height-1/2/3 trade-off.
+func BenchmarkAblationTrieHeight(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationTrieHeight(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].IndexSec/rows[2].IndexSec, "h3-vs-h1-speedup-x")
+		b.ReportMetric(rows[2].TopShare, "h3-top-share")
+	}
+}
+
+// BenchmarkAblationCoalescing measures the coalesced-access speedup in
+// the GPU model.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationCoalescing()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Speedup(), "speedup-x")
+	}
+}
+
+// BenchmarkAblationSplit measures the popularity split against a
+// random CPU/GPU split.
+func BenchmarkAblationSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.AblationSplit(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.Speedup(), "speedup-x")
+	}
+}
+
+// BenchmarkCompressionCodecs measures the §II codec trade-off on the
+// collection's final postings.
+func BenchmarkCompressionCodecs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.CompressionComparison(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.BitsPerPosting, r.Codec+"-bits/posting")
+		}
+	}
+}
+
+// BenchmarkAblationDecompress measures the two read/decompress
+// schedules of §IV.A at six parsers.
+func BenchmarkAblationDecompress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationDecompress(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[5].Scheme1Sec/rows[5].Scheme2Sec, "m6-scheme1/scheme2")
+	}
+}

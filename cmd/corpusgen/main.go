@@ -1,0 +1,64 @@
+// Command corpusgen materializes one of the synthetic document
+// collections (ClueWeb09-like, Wikipedia01-07-like, Library-of-
+// Congress-like) into a directory of container files, ready for
+// hetindex.
+//
+// Usage:
+//
+//	corpusgen -profile clueweb -files 16 -scale 1.0 -out ./corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fastinvert"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("corpusgen: ")
+	var (
+		profile = flag.String("profile", "clueweb", "collection profile: clueweb | wikipedia | loc")
+		files   = flag.Int("files", 16, "number of container files")
+		scale   = flag.Float64("scale", 1.0, "size factor (documents per file and document length)")
+		out     = flag.String("out", "", "output directory (required)")
+		stats   = flag.Bool("stats", false, "print Table III statistics after generating")
+	)
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var p fastinvert.Profile
+	switch *profile {
+	case "clueweb":
+		p = fastinvert.ClueWeb09Profile(*scale)
+	case "wikipedia":
+		p = fastinvert.WikipediaProfile(*scale)
+	case "loc":
+		p = fastinvert.LibraryOfCongressProfile(*scale)
+	default:
+		log.Fatalf("unknown profile %q (want clueweb, wikipedia or loc)", *profile)
+	}
+	n, err := fastinvert.WriteCorpus(p, *files, *out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d files (%.2f MB stored) to %s\n", *files, float64(n)/(1<<20), *out)
+
+	if *stats {
+		src, err := fastinvert.OpenCorpusDir(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := fastinvert.CorpusStats(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("documents: %d\nterms:     %d\ntokens:    %d\nuncompressed: %.2f MB\n",
+			st.Documents, st.Terms, st.Tokens, float64(st.UncompressedSize)/(1<<20))
+	}
+}

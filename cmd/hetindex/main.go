@@ -1,0 +1,117 @@
+// Command hetindex builds inverted files from a corpus directory using
+// the paper's pipelined CPU+GPU strategy and prints the timing report.
+//
+// Usage:
+//
+//	hetindex -corpus ./corpus -out ./index -parsers 6 -cpu 2 -gpu 2
+//
+// Without -corpus, a synthetic ClueWeb09-like collection is generated
+// in memory (-files, -scale control its size), which makes the command
+// a self-contained demonstration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fastinvert"
+	"fastinvert/internal/gpu"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hetindex: ")
+	var (
+		corpusDir  = flag.String("corpus", "", "corpus directory (omit to generate in memory)")
+		out        = flag.String("out", "", "index output directory (omit to skip persisting)")
+		parsers    = flag.Int("parsers", 6, "parallel parser threads (M)")
+		cpus       = flag.Int("cpu", 2, "CPU indexers (N1)")
+		gpus       = flag.Int("gpu", 2, "GPU indexers (N2, simulated Tesla C1060)")
+		files      = flag.Int("files", 16, "synthetic corpus: container files")
+		scale      = flag.Float64("scale", 1.0, "synthetic corpus: size factor")
+		gpuMem     = flag.Int("gpumem", 256, "simulated GPU device memory (MiB)")
+		positional = flag.Bool("positional", false, "build positional postings (enables phrase queries)")
+		concurrent = flag.Bool("concurrent", false, "run the goroutine-parallel executor")
+		verify     = flag.Bool("verify", false, "run an integrity check on the written index")
+		progress   = flag.Bool("progress", false, "print per-file progress while building")
+		verbose    = flag.Bool("v", false, "print the per-file throughput series")
+	)
+	flag.Parse()
+
+	var src fastinvert.Source
+	var err error
+	if *corpusDir != "" {
+		src, err = fastinvert.OpenCorpusDir(*corpusDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		src = fastinvert.GenerateCorpus(fastinvert.ClueWeb09Profile(*scale), *files)
+	}
+
+	opts := fastinvert.DefaultOptions()
+	opts.Parsers = *parsers
+	opts.CPUIndexers = *cpus
+	opts.GPUs = *gpus
+	opts.OutDir = *out
+	opts.Positional = *positional
+	opts.Concurrent = *concurrent
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rindexed %d/%d files", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	g := gpu.TeslaC1060()
+	g.DeviceMemBytes = *gpuMem << 20
+	opts.GPU = g
+
+	b, err := fastinvert.NewBuilder(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := b.Build(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("collection: %d files, %d documents, %d tokens, %d distinct terms\n",
+		rep.Files, rep.Docs, rep.Tokens, rep.Terms)
+	fmt.Printf("input: %.2f MB compressed, %.2f MB uncompressed\n",
+		float64(rep.CompressedBytes)/(1<<20), float64(rep.UncompressedBytes)/(1<<20))
+	fmt.Printf("pipeline (modeled on %dP + %dC + %dG):\n", *parsers, *cpus, *gpus)
+	fmt.Printf("  sampling        %9.4f s\n", rep.SamplingSec)
+	fmt.Printf("  parsers span    %9.4f s\n", rep.ParsersSpanSec)
+	fmt.Printf("  indexers span   %9.4f s (pre %.4f / indexing %.4f / post %.4f)\n",
+		rep.IndexersSpanSec, rep.PreProcessingSec, rep.IndexingSec, rep.PostProcessingSec)
+	fmt.Printf("  dict combine    %9.4f s\n", rep.DictCombineSec)
+	fmt.Printf("  dict write      %9.4f s\n", rep.DictWriteSec)
+	fmt.Printf("  total           %9.4f s\n", rep.TotalSec)
+	fmt.Printf("throughput: %.2f MB/s total, %.2f MB/s indexing\n",
+		rep.ThroughputMBps, rep.IndexingThroughputMBps)
+	fmt.Printf("workload split: CPU %d tokens / %d terms, GPU %d tokens / %d terms\n",
+		rep.CPUTokens, rep.CPUTerms, rep.GPUTokens, rep.GPUTerms)
+	fmt.Printf("output: %.2f MB postings, %.2f MB dictionary\n",
+		float64(rep.PostingsBytes)/(1<<20), float64(rep.DictionaryBytes)/(1<<20))
+	if *out != "" {
+		fmt.Printf("index written to %s\n", *out)
+		if *verify {
+			vr, err := fastinvert.VerifyIndex(*out)
+			if err != nil {
+				log.Fatalf("index verification FAILED: %v", err)
+			}
+			fmt.Printf("verified: %d runs, %d lists, %d postings, %d terms\n",
+				vr.Runs, vr.Lists, vr.Postings, vr.Terms)
+		}
+	}
+	if *verbose {
+		fmt.Println("per-file indexing throughput (MB/s):")
+		for i, f := range rep.PerFile {
+			fmt.Printf("  %4d %-40s %8.2f\n", i, f.Name, f.ThroughputMBps)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command indexquery looks up terms in an index built by hetindex,
+// applying the same normalization (lowercasing + Porter stemming) the
+// indexer applied, and prints each term's postings list. With -range
+// it fetches only the partial lists overlapping a docID range — the
+// per-run output format's fast path (§III.F).
+//
+// Usage:
+//
+//	indexquery -index ./index parallelize gpu throughput
+//	indexquery -index ./index -range 100:200 parallel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"fastinvert"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("indexquery: ")
+	var (
+		indexDir = flag.String("index", "", "index directory (required)")
+		docRange = flag.String("range", "", "restrict to docID range lo:hi")
+		maxShow  = flag.Int("n", 10, "max postings to print per term")
+		locate   = flag.Bool("locate", false, "resolve matching docIDs to source file locations (doc table)")
+		prefix   = flag.String("prefix", "", "list indexed terms with this prefix instead of querying")
+	)
+	flag.Parse()
+	if *indexDir == "" || (flag.NArg() == 0 && *prefix == "") {
+		fmt.Fprintln(os.Stderr, "usage: indexquery -index DIR [-range lo:hi] [-locate] term... | -prefix p")
+		os.Exit(2)
+	}
+	idx, err := fastinvert.Open(*indexDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d terms, %d runs\n", idx.Terms(), len(idx.Runs()))
+
+	if *prefix != "" {
+		s := fastinvert.NewSearcher(idx)
+		for _, term := range s.MatchPrefix(*prefix, *maxShow) {
+			fmt.Println(" ", term)
+		}
+		return
+	}
+
+	lo, hi := uint32(0), ^uint32(0)
+	if *docRange != "" {
+		parts := strings.SplitN(*docRange, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad -range %q, want lo:hi", *docRange)
+		}
+		l, err1 := strconv.ParseUint(parts[0], 10, 32)
+		h, err2 := strconv.ParseUint(parts[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			log.Fatalf("bad -range %q", *docRange)
+		}
+		lo, hi = uint32(l), uint32(h)
+	}
+
+	for _, raw := range flag.Args() {
+		term := fastinvert.NormalizeTerm(raw)
+		list, err := idx.PostingsRange(term, lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%q -> %q: %d postings", raw, term, list.Len())
+		if list.Len() == 0 {
+			fmt.Println()
+			continue
+		}
+		fmt.Print(" [")
+		for i := 0; i < list.Len() && i < *maxShow; i++ {
+			if i > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%d:%d", list.DocIDs[i], list.TFs[i])
+		}
+		if list.Len() > *maxShow {
+			fmt.Printf(" ... +%d more", list.Len()-*maxShow)
+		}
+		fmt.Println("]")
+		if *locate {
+			for i := 0; i < list.Len() && i < *maxShow; i++ {
+				if file, off, n, ok := idx.DocLocation(list.DocIDs[i]); ok {
+					fmt.Printf("    doc %d -> %s @%d (+%d bytes)\n",
+						list.DocIDs[i], file, off, n)
+				}
+			}
+		}
+	}
+}

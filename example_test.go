@@ -1,0 +1,71 @@
+package fastinvert_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fastinvert"
+)
+
+// ExampleNormalizeTerm shows the query-side term normalization, which
+// matches exactly what the indexing pipeline stores.
+func ExampleNormalizeTerm() {
+	fmt.Println(fastinvert.NormalizeTerm("Parallelized"))
+	fmt.Println(fastinvert.NormalizeTerm("INDEXING"))
+	fmt.Println(fastinvert.NormalizeTerm("dictionaries"))
+	// Output:
+	// parallel
+	// index
+	// dictionari
+}
+
+// ExampleTrieIndex shows Table I's trie-collection mapping.
+func ExampleTrieIndex() {
+	fmt.Println(fastinvert.TrieIndex("application")) // "app" prefix
+	fmt.Println(fastinvert.TrieIndex("0195"))        // pure number
+	fmt.Println(fastinvert.TrieIndex("at"))          // short term
+	fmt.Println(fastinvert.NumTrieCollections)
+	// Output:
+	// 442
+	// 1
+	// 11
+	// 17613
+}
+
+// ExampleBuilder_Build indexes a small synthetic collection and runs a
+// ranked query against the persisted inverted files.
+func ExampleBuilder_Build() {
+	dir, err := os.MkdirTemp("", "fastinvert-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := fastinvert.DefaultOptions()
+	opts.OutDir = dir
+	opts.Positional = true
+	builder, err := fastinvert.NewBuilder(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := fastinvert.GenerateCorpus(fastinvert.ClueWeb09Profile(1), 4)
+	report, err := builder.Build(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idx, err := fastinvert.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	searcher := fastinvert.NewSearcher(idx)
+	top, err := searcher.TopK(3, "water", "people")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d docs; top query hit exists: %v\n",
+		report.Docs, len(top) > 0)
+	// Output:
+	// indexed 256 docs; top query hit exists: true
+}

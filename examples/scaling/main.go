@@ -1,0 +1,51 @@
+// Scaling scenario: sweep the pipeline shape over a Wikipedia-like
+// text collection — the paper's Fig. 10 experiment in miniature —
+// showing how parser count and indexer mix trade off, and where the
+// GPU acceleration pays.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fastinvert"
+)
+
+func main() {
+	log.SetFlags(0)
+	src := fastinvert.GenerateCorpus(fastinvert.WikipediaProfile(1), 10)
+
+	fmt.Println("pipeline shape sweep (Wikipedia-like, modeled times):")
+	fmt.Printf("%8s %6s %6s | %12s %12s %10s\n",
+		"parsers", "cpu", "gpu", "parsers(s)", "indexers(s)", "MB/s")
+
+	type shape struct{ p, c, g int }
+	shapes := []shape{
+		{1, 7, 0}, {2, 6, 0}, {4, 4, 0}, {6, 2, 0}, {7, 1, 0},
+		{6, 2, 2}, {6, 0, 2},
+	}
+	var best shape
+	bestTput := 0.0
+	for _, s := range shapes {
+		opts := fastinvert.DefaultOptions()
+		opts.Parsers = s.p
+		opts.CPUIndexers = s.c
+		opts.GPUs = s.g
+		b, err := fastinvert.NewBuilder(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := b.Build(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %6d %6d | %12.4f %12.4f %10.2f\n",
+			s.p, s.c, s.g, rep.ParsersSpanSec, rep.IndexersSpanSec, rep.ThroughputMBps)
+		if rep.ThroughputMBps > bestTput {
+			bestTput, best = rep.ThroughputMBps, s
+		}
+	}
+	fmt.Printf("\nbest shape: %d parsers + %d CPU + %d GPU indexers (%.2f MB/s)\n",
+		best.p, best.c, best.g, bestTput)
+	fmt.Println("(the paper lands on 6 parsers + 2 CPU + 2 GPU on its 8-core node)")
+}

@@ -1,0 +1,81 @@
+// Searchengine scenario: the inverted files as a downstream user
+// consumes them — build an index over a mixed collection, then run
+// Boolean and TF-IDF ranked queries through the search layer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fastinvert"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "fastinvert-search-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	src := fastinvert.GenerateCorpus(fastinvert.ClueWeb09Profile(1), 10)
+	opts := fastinvert.DefaultOptions()
+	opts.OutDir = dir
+	opts.Concurrent = true // real goroutine pipeline
+	opts.Positional = true // record token positions for phrase queries
+	builder, err := fastinvert.NewBuilder(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := builder.Build(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d docs, %d terms (concurrent pipeline)\n\n", rep.Docs, rep.Terms)
+
+	idx, err := fastinvert.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := fastinvert.NewSearcher(idx)
+
+	// Boolean retrieval.
+	and, err := s.And("water", "people")
+	if err != nil {
+		log.Fatal(err)
+	}
+	or, err := s.Or("water", "people")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("water AND people: %4d documents\n", len(and))
+	fmt.Printf("water OR  people: %4d documents\n", len(or))
+
+	// Ranked retrieval.
+	top, err := s.TopK(5, "parallel", "indexing", "documents")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-5 for {parallel indexing documents} (TF-IDF):")
+	for i, r := range top {
+		fmt.Printf("  %d. doc %-6d score %.3f\n", i+1, r.Doc, r.Score)
+	}
+
+	// Phrase retrieval over the positional index.
+	phrase, err := s.Phrase("time", "people")
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, _ := s.And("time", "people")
+	fmt.Printf("\nphrase \"time people\": %d documents (vs %d containing both words anywhere)\n",
+		len(phrase), len(both))
+
+	// Dictionary prefix matching (auto-complete style).
+	fmt.Printf("terms with prefix \"par\": %v\n", s.MatchPrefix("par", 5))
+
+	// Stop words vanish at normalization, exactly as at indexing time.
+	if term, stop := s.Normalize("The"); stop {
+		fmt.Printf("(%q is a stop word: never indexed, never matched)\n", term)
+	}
+}

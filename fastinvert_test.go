@@ -1,0 +1,118 @@
+package fastinvert_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fastinvert"
+	"fastinvert/internal/gpu"
+)
+
+func smallOptions() fastinvert.Options {
+	opts := fastinvert.DefaultOptions()
+	opts.Parsers = 2
+	opts.CPUIndexers = 1
+	opts.GPUs = 1
+	g := gpu.TeslaC1060()
+	g.SMs = 4
+	g.DeviceMemBytes = 64 << 20
+	opts.GPU = g
+	opts.GPUThreadBlocks = 16
+	opts.Sampling.Ratio = 0.2
+	return opts
+}
+
+func smallProfile() fastinvert.Profile {
+	p := fastinvert.ClueWeb09Profile(1)
+	p.VocabSize = 4000
+	p.DocsPerFile = 8
+	p.MeanDocTokens = 60
+	return p
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	src := fastinvert.GenerateCorpus(smallProfile(), 3)
+	opts := smallOptions()
+	opts.OutDir = filepath.Join(t.TempDir(), "idx")
+	b, err := fastinvert.NewBuilder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Docs != 24 || rep.Terms == 0 {
+		t.Fatalf("report: docs=%d terms=%d", rep.Docs, rep.Terms)
+	}
+
+	idx, err := fastinvert.Open(opts.OutDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Terms() != int(rep.Terms) {
+		t.Errorf("index terms %d, report %d", idx.Terms(), rep.Terms)
+	}
+	// The Zipf head guarantees "the"-like stems appear; look up the
+	// most common dictionary entry round-tripped through Postings.
+	var anyTerm string
+	for _, e := range idx.Dictionary() {
+		anyTerm = e.Term
+		break
+	}
+	l, err := idx.Postings(anyTerm)
+	if err != nil || l.Len() == 0 {
+		t.Fatalf("Postings(%q): %v len=%d", anyTerm, err, l.Len())
+	}
+}
+
+func TestNormalizeTerm(t *testing.T) {
+	cases := map[string]string{
+		"Parallelized": "parallel",
+		"INDEXING":     "index",
+		"the":          "the",
+	}
+	for in, want := range cases {
+		if got := fastinvert.NormalizeTerm(in); got != want {
+			t.Errorf("NormalizeTerm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTrieIndexExposed(t *testing.T) {
+	if fastinvert.NumTrieCollections != 17613 {
+		t.Fatal("trie table size")
+	}
+	if fastinvert.TrieIndex("application") == fastinvert.TrieIndex("zebra") {
+		t.Error("distinct prefixes must map to distinct collections")
+	}
+}
+
+func TestWriteAndOpenCorpusDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	n, err := fastinvert.WriteCorpus(smallProfile(), 2, dir)
+	if err != nil || n <= 0 {
+		t.Fatalf("WriteCorpus: %v (%d)", err, n)
+	}
+	src, err := fastinvert.OpenCorpusDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumFiles() != 2 {
+		t.Errorf("NumFiles = %d", src.NumFiles())
+	}
+}
+
+func TestParseOnlyPublic(t *testing.T) {
+	b, err := fastinvert.NewBuilder(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.ParseOnly(fastinvert.GenerateCorpus(smallProfile(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalSec <= 0 {
+		t.Error("parse-only timing missing")
+	}
+}

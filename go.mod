@@ -1,0 +1,3 @@
+module fastinvert
+
+go 1.22

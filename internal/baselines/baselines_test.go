@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"testing"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/reference"
+)
+
+func testSource() *corpus.MemSource {
+	p := corpus.ClueWeb09(1)
+	p.VocabSize = 4000
+	p.DocsPerFile = 8
+	p.MeanDocTokens = 60
+	return corpus.NewMemSource(corpus.NewGenerator(p), 3)
+}
+
+// TestAllBaselinesMatchReference pins every baseline's full output
+// against the serial reference indexer.
+func TestAllBaselinesMatchReference(t *testing.T) {
+	src := testSource()
+	ref, err := reference.BuildFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := []struct {
+		name string
+		run  func() (*Result, error)
+	}{
+		{"ivory-r1", func() (*Result, error) { return IvoryMR(src, 1) }},
+		{"ivory-r4", func() (*Result, error) { return IvoryMR(src, 4) }},
+		{"singlepass-r1", func() (*Result, error) { return SinglePassMR(src, 1) }},
+		{"singlepass-r3", func() (*Result, error) { return SinglePassMR(src, 3) }},
+		{"spimi-big", func() (*Result, error) { return SPIMI(src, 64<<20) }},
+		{"spimi-tiny", func() (*Result, error) { return SPIMI(src, 16<<10) }},
+		{"sortbased-big", func() (*Result, error) { return SortBased(src, 64<<20) }},
+		{"sortbased-tiny", func() (*Result, error) { return SortBased(src, 8<<10) }},
+	}
+	for _, b := range builds {
+		b := b
+		t.Run(b.name, func(t *testing.T) {
+			res, err := b.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok, diff := ref.Equal(res.Lists); !ok {
+				t.Fatalf("%s differs from reference at %q", b.name, diff)
+			}
+			if res.Stats.Docs != ref.Docs {
+				t.Errorf("docs = %d, want %d", res.Stats.Docs, ref.Docs)
+			}
+			if res.Stats.SerialSec <= 0 {
+				t.Error("missing timing")
+			}
+		})
+	}
+}
+
+func TestTinyBudgetsForceMultipleRuns(t *testing.T) {
+	src := testSource()
+	spimi, err := SPIMI(src, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spimi.Stats.RunsFlushed < 2 {
+		t.Errorf("SPIMI with tiny budget flushed %d runs", spimi.Stats.RunsFlushed)
+	}
+	sb, err := SortBased(src, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Stats.RunsFlushed < 2 {
+		t.Errorf("SortBased with tiny budget flushed %d runs", sb.Stats.RunsFlushed)
+	}
+}
+
+// TestSinglePassShufflesLessThanIvory verifies McCreadie's core claim:
+// emitting partial lists shrinks shuffle volume versus per-posting
+// emission.
+func TestSinglePassShufflesLessThanIvory(t *testing.T) {
+	src := testSource()
+	ivory, err := IvoryMR(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SinglePassMR(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Stats.ShuffleBytes >= ivory.Stats.ShuffleBytes {
+		t.Errorf("single-pass shuffle %d not below ivory %d",
+			sp.Stats.ShuffleBytes, ivory.Stats.ShuffleBytes)
+	}
+}
+
+func TestMRTimingArrays(t *testing.T) {
+	src := testSource()
+	res, err := IvoryMR(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.MapSec) != src.NumFiles() {
+		t.Errorf("MapSec entries = %d, want %d", len(res.Stats.MapSec), src.NumFiles())
+	}
+	if len(res.Stats.ReduceSec) != 4 {
+		t.Errorf("ReduceSec entries = %d, want 4", len(res.Stats.ReduceSec))
+	}
+}

@@ -1,0 +1,156 @@
+// Package baselines implements the indexers the paper compares against
+// or builds upon (§II, §IV.D), all sharing the system's parsing
+// pipeline so outputs are directly comparable:
+//
+//   - IvoryMR: Lin et al.'s MapReduce indexer with <(term, docID), tf>
+//     composite keys — one value per key, postings appended in order at
+//     the reducer with no post-processing.
+//   - SinglePassMR: McCreadie et al.'s MapReduce indexer emitting
+//     <term, partial postings list> per map task to cut shuffle volume.
+//   - SPIMI: Heinz & Zobel's single-pass in-memory indexing with
+//     memory-bounded runs and a final merge.
+//   - SortBased: Moffat & Bell's sort-based inversion with temporary
+//     sorted runs.
+//
+// Every baseline returns its complete term -> postings map so tests
+// can pin it against the reference indexer, plus measured durations
+// for the Fig. 12 throughput comparison.
+package baselines
+
+import (
+	"sort"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/mapreduce"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/postings"
+	"fastinvert/internal/trie"
+)
+
+// Result is a completed baseline build.
+type Result struct {
+	Lists map[string]*postings.List
+	Stats Stats
+}
+
+// Stats carries measured work and timing.
+type Stats struct {
+	Docs   int64
+	Tokens int64
+
+	// SerialSec is the total measured single-core execution time.
+	SerialSec float64
+
+	// MR jobs: per-split map and per-partition reduce durations plus
+	// shuffle volume, for cluster modeling.
+	MapSec       []float64
+	ReduceSec    []float64
+	ShuffleBytes int64
+
+	// Run-based indexers: temporary runs flushed.
+	RunsFlushed int
+}
+
+// Terms reports the number of distinct terms built.
+func (r *Result) Terms() int { return len(r.Lists) }
+
+// ClusterModel parameterizes the modeled Hadoop cluster the MapReduce
+// baselines ran on in their papers.
+type ClusterModel struct {
+	MapWorkers         int
+	ReduceWorkers      int
+	ShuffleBytesPerSec float64
+	// TaskOverheadSec is the per-task constant cost (JVM spin-up,
+	// scheduling, HDFS open) that dominates Hadoop at small task
+	// sizes — typically 1-3 s per task on the 2009-era clusters the
+	// baselines used. It is charged per task wave.
+	TaskOverheadSec float64
+}
+
+// ClusterMakespan schedules the measured map/reduce durations onto a
+// modeled cluster. For non-MapReduce baselines it returns SerialSec.
+func (s *Stats) ClusterMakespan(mapWorkers, reduceWorkers int, netBytesPerSec float64) float64 {
+	return s.ModelMakespan(ClusterModel{
+		MapWorkers:         mapWorkers,
+		ReduceWorkers:      reduceWorkers,
+		ShuffleBytesPerSec: netBytesPerSec,
+	})
+}
+
+// ModelMakespan schedules the measured durations onto the cluster:
+// LPT-packed map tasks, the shuffle at aggregate bandwidth, LPT-packed
+// reduce partitions, plus per-task-wave overhead.
+func (s *Stats) ModelMakespan(m ClusterModel) float64 {
+	if len(s.MapSec) == 0 && len(s.ReduceSec) == 0 {
+		return s.SerialSec
+	}
+	span := mapreduce.LPT(s.MapSec, m.MapWorkers) + mapreduce.LPT(s.ReduceSec, m.ReduceWorkers)
+	if m.ShuffleBytesPerSec > 0 {
+		span += float64(s.ShuffleBytes) / m.ShuffleBytesPerSec
+	}
+	if m.TaskOverheadSec > 0 {
+		span += m.TaskOverheadSec * float64(waves(len(s.MapSec), m.MapWorkers))
+		span += m.TaskOverheadSec * float64(waves(len(s.ReduceSec), m.ReduceWorkers))
+	}
+	return span
+}
+
+func waves(tasks, workers int) int {
+	if tasks == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return (tasks + workers - 1) / workers
+}
+
+// docOccurrence is one (term, tf) for a document, in deterministic
+// term order.
+type docOccurrence struct {
+	term string
+	tf   uint32
+}
+
+// parseDocTerms runs the standard pipeline (tokenize, stem, stop
+// words) on one document and returns its distinct terms with
+// frequencies, sorted by term.
+func parseDocTerms(p *parser.Parser, doc []byte) []docOccurrence {
+	blk := parser.NewBlock(0)
+	p.ParseDoc(0, doc, blk)
+	m := make(map[string]uint32, 64)
+	for gi, g := range blk.Groups {
+		g.ForEach(func(_ uint32, stripped []byte) error {
+			m[string(trie.Restore(gi, stripped))]++
+			return nil
+		})
+	}
+	out := make([]docOccurrence, 0, len(m))
+	for term, tf := range m {
+		out = append(out, docOccurrence{term, tf})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].term < out[j].term })
+	return out
+}
+
+// loadDocs materializes a source into per-file document slices with
+// their global doc bases.
+func loadDocs(src corpus.Source) (files [][][]byte, bases []uint32, totalBytes int64, err error) {
+	var docBase uint32
+	for i := 0; i < src.NumFiles(); i++ {
+		stored, compressed, err := src.ReadFile(i)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		plain, err := corpus.Decompress(stored, compressed)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		totalBytes += int64(len(plain))
+		docs := corpus.SplitDocs(plain)
+		files = append(files, docs)
+		bases = append(bases, docBase)
+		docBase += uint32(len(docs))
+	}
+	return files, bases, totalBytes, nil
+}

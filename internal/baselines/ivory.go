@@ -1,0 +1,100 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"time"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/encoding"
+	"fastinvert/internal/mapreduce"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/postings"
+)
+
+// IvoryMR implements Lin et al.'s scalable MapReduce indexing (§II):
+// the map emits <tuple{term, docID}, tf> so each unique key carries at
+// most one value, the partitioner routes on the term alone, and the
+// MapReduce sort delivers postings to the reducer in docID order —
+// each posting is appended to its list immediately, no buffering or
+// post-sorting.
+func IvoryMR(src corpus.Source, reducers int) (*Result, error) {
+	files, bases, _, err := loadDocs(src)
+	if err != nil {
+		return nil, err
+	}
+	splits := make([]mapreduce.Split, len(files))
+	for i := range files {
+		splits[i] = mapreduce.Split{DocBase: bases[i], Docs: files[i]}
+	}
+
+	p := parser.New(nil)
+	mapper := func(docID uint32, doc []byte, emit func(string, []byte)) error {
+		for _, occ := range parseDocTerms(p, doc) {
+			var key strings.Builder
+			key.WriteString(occ.term)
+			key.WriteByte(0)
+			var db [4]byte
+			binary.BigEndian.PutUint32(db[:], docID) // big-endian: lexicographic == numeric
+			key.Write(db[:])
+			emit(key.String(), encoding.PutUvarByte(nil, uint64(occ.tf)))
+		}
+		return nil
+	}
+	reducer := func(key string, values [][]byte, emit func(string, []byte)) error {
+		if len(values) != 1 {
+			return fmt.Errorf("ivory: key %q has %d values, want 1", key, len(values))
+		}
+		emit(key, values[0])
+		return nil
+	}
+	partition := func(key string, r int) int {
+		term, _, _ := strings.Cut(key, "\x00")
+		return mapreduce.DefaultPartition(term, r)
+	}
+
+	t0 := time.Now()
+	out, err := mapreduce.Run(mapreduce.Config{
+		Reducers:  reducers,
+		Partition: partition,
+	}, splits, mapper, reducer)
+	if err != nil {
+		return nil, err
+	}
+
+	// Materialize postings: within each partition keys arrive in
+	// (term, docID) order, so appends preserve doc order — the
+	// algorithm's defining property.
+	res := &Result{Lists: make(map[string]*postings.List)}
+	for _, part := range out.Partitions {
+		for _, kv := range part {
+			sep := strings.IndexByte(kv.Key, 0)
+			if sep < 0 || len(kv.Key) < sep+5 {
+				return nil, fmt.Errorf("ivory: malformed key %q", kv.Key)
+			}
+			term := kv.Key[:sep]
+			doc := binary.BigEndian.Uint32([]byte(kv.Key[sep+1 : sep+5]))
+			tf, n := encoding.UvarByte(kv.Value)
+			if n <= 0 {
+				return nil, fmt.Errorf("ivory: bad tf for %q", term)
+			}
+			l := res.Lists[term]
+			if l == nil {
+				l = &postings.List{}
+				res.Lists[term] = l
+			}
+			l.DocIDs = append(l.DocIDs, doc)
+			l.TFs = append(l.TFs, uint32(tf))
+			res.Stats.Tokens += int64(tf)
+		}
+	}
+	res.Stats.SerialSec = time.Since(t0).Seconds()
+	res.Stats.MapSec = out.Timing.MapSec
+	res.Stats.ReduceSec = out.Timing.ReduceSec
+	res.Stats.ShuffleBytes = out.Timing.ShuffleB
+	for _, f := range files {
+		res.Stats.Docs += int64(len(f))
+	}
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"sort"
+	"time"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/postings"
+)
+
+// triple is one (term, document, frequency) record of the sort-based
+// method.
+type triple struct {
+	termID uint32
+	doc    uint32
+	tf     uint32
+}
+
+// SortBased implements Moffat & Bell's sort-based inversion (§II):
+// postings accumulate as (termID, docID, tf) triples until the memory
+// budget fills, each batch is sorted by (termID, docID) and flushed as
+// a run, and the runs are merged into final postings lists.
+func SortBased(src corpus.Source, memoryBudget int) (*Result, error) {
+	if memoryBudget <= 0 {
+		memoryBudget = 8 << 20
+	}
+	budgetTriples := memoryBudget / 12
+	if budgetTriples < 1 {
+		budgetTriples = 1
+	}
+	files, bases, _, err := loadDocs(src)
+	if err != nil {
+		return nil, err
+	}
+	p := parser.New(nil)
+	res := &Result{Lists: make(map[string]*postings.List)}
+	t0 := time.Now()
+
+	termIDs := make(map[string]uint32) // global vocabulary
+	var vocab []string
+	var buf []triple
+	var runs [][]triple
+
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		// Stable keeps docID order within a term: triples were
+		// appended in document order.
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].termID < buf[j].termID })
+		runs = append(runs, buf)
+		buf = nil
+		res.Stats.RunsFlushed++
+	}
+
+	for fi, docs := range files {
+		for d, doc := range docs {
+			docID := bases[fi] + uint32(d)
+			for _, occ := range parseDocTerms(p, doc) {
+				id, ok := termIDs[occ.term]
+				if !ok {
+					id = uint32(len(vocab))
+					termIDs[occ.term] = id
+					vocab = append(vocab, occ.term)
+				}
+				buf = append(buf, triple{id, docID, occ.tf})
+				res.Stats.Tokens += int64(occ.tf)
+			}
+			res.Stats.Docs++
+			if len(buf) >= budgetTriples {
+				flush()
+			}
+		}
+	}
+	flush()
+
+	// Merge runs: runs are in document order, so per-term
+	// concatenation across runs preserves docID order.
+	for _, run := range runs {
+		for _, tr := range run {
+			term := vocab[tr.termID]
+			l := res.Lists[term]
+			if l == nil {
+				l = &postings.List{}
+				res.Lists[term] = l
+			}
+			l.DocIDs = append(l.DocIDs, tr.doc)
+			l.TFs = append(l.TFs, tr.tf)
+		}
+	}
+	res.Stats.SerialSec = time.Since(t0).Seconds()
+	return res, nil
+}

@@ -1,0 +1,114 @@
+// Package btree implements the paper's dictionary B-tree (§III.B.2,
+// Table II): degree-16 nodes holding up to 31 terms, sized to exactly
+// 512 bytes so one node is a single coalesced 128-word device-memory
+// transaction on the GPU, with a 4-byte string cache per key that makes
+// most comparisons resolve without chasing the term-string pointer.
+//
+// Term strings are stored stripped of their trie prefix: the first
+// four stripped bytes live in the node cache and any remaining bytes
+// live in a string arena, length-prefixed per Fig. 6. The tree only
+// supports insert and lookup — the indexing workload never deletes.
+package btree
+
+import "unsafe"
+
+// Degree is the B-tree minimum degree t (Table II): nodes hold between
+// Degree-1 and 2*Degree-1 keys (the root may hold fewer), "selected to
+// match the CUDA warp size".
+const (
+	Degree      = 16
+	MaxKeys     = 2*Degree - 1 // 31
+	MinKeys     = Degree - 1   // 15
+	MaxChildren = 2 * Degree   // 32
+	CacheBytes  = 4
+)
+
+// NodeSize is the exact byte size of one serialized node (Table II).
+const NodeSize = 512
+
+// Byte offsets of each Table II field within a serialized node. The
+// GPU indexer operates on raw node images in device memory using these
+// offsets; the CPU indexer uses the Node struct, and the two layouts
+// are asserted identical by tests.
+const (
+	OffValidCount  = 0                    // 1 x int32
+	OffStringPtr   = 4                    // 31 x int32
+	OffLeaf        = OffStringPtr + 124   // 1 x int32
+	OffPostingsPtr = OffLeaf + 4          // 31 x int32
+	OffChildren    = OffPostingsPtr + 124 // 32 x int32
+	OffCache       = OffChildren + 128    // 31 x 4 bytes
+	OffPadding     = OffCache + 124       // 1 x int32
+)
+
+// NilPtr marks an absent string pointer (key fully held in the cache)
+// or an absent child.
+const NilPtr = int32(-1)
+
+// Node is the in-memory form of one 512-byte B-tree node. Field order
+// mirrors Table II; all indices are int32 so the struct's size equals
+// NodeSize exactly.
+type Node struct {
+	ValidCount  int32                     // number of live keys
+	StringPtr   [MaxKeys]int32            // arena offset of bytes beyond the cache, or NilPtr
+	Leaf        int32                     // 1 if leaf
+	PostingsPtr [MaxKeys]int32            // postings-list slot per key
+	Children    [MaxChildren]int32        // node indices, NilPtr when absent
+	Cache       [MaxKeys][CacheBytes]byte // first 4 stripped bytes, zero-padded
+	Padding     int32                     // Table II's explicit pad to 512
+}
+
+// compile-time guarantee that the struct matches the paper layout.
+var _ [NodeSize]byte = [unsafe.Sizeof(Node{})]byte{}
+
+// Marshal serializes the node into dst (little-endian int32s), which
+// must be at least NodeSize bytes. This is the device-memory image the
+// GPU indexer consumes.
+func (n *Node) Marshal(dst []byte) {
+	_ = dst[NodeSize-1]
+	putI32(dst[OffValidCount:], n.ValidCount)
+	for i := 0; i < MaxKeys; i++ {
+		putI32(dst[OffStringPtr+4*i:], n.StringPtr[i])
+	}
+	putI32(dst[OffLeaf:], n.Leaf)
+	for i := 0; i < MaxKeys; i++ {
+		putI32(dst[OffPostingsPtr+4*i:], n.PostingsPtr[i])
+	}
+	for i := 0; i < MaxChildren; i++ {
+		putI32(dst[OffChildren+4*i:], n.Children[i])
+	}
+	for i := 0; i < MaxKeys; i++ {
+		copy(dst[OffCache+CacheBytes*i:OffCache+CacheBytes*(i+1)], n.Cache[i][:])
+	}
+	putI32(dst[OffPadding:], n.Padding)
+}
+
+// Unmarshal fills the node from a NodeSize-byte image.
+func (n *Node) Unmarshal(src []byte) {
+	_ = src[NodeSize-1]
+	n.ValidCount = getI32(src[OffValidCount:])
+	for i := 0; i < MaxKeys; i++ {
+		n.StringPtr[i] = getI32(src[OffStringPtr+4*i:])
+	}
+	n.Leaf = getI32(src[OffLeaf:])
+	for i := 0; i < MaxKeys; i++ {
+		n.PostingsPtr[i] = getI32(src[OffPostingsPtr+4*i:])
+	}
+	for i := 0; i < MaxChildren; i++ {
+		n.Children[i] = getI32(src[OffChildren+4*i:])
+	}
+	for i := 0; i < MaxKeys; i++ {
+		copy(n.Cache[i][:], src[OffCache+CacheBytes*i:])
+	}
+	n.Padding = getI32(src[OffPadding:])
+}
+
+func putI32(b []byte, v int32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
+
+func getI32(b []byte) int32 {
+	return int32(b[0]) | int32(b[1])<<8 | int32(b[2])<<16 | int32(b[3])<<24
+}

@@ -1,0 +1,107 @@
+package btree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestWalkRangeMatchesFilteredWalk compares WalkRange against a
+// filtered full walk over many random key sets and bounds.
+func TestWalkRangeMatchesFilteredWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		tr := New()
+		nKeys := 50 + rng.Intn(2000)
+		keys := map[string]bool{}
+		for len(keys) < nKeys {
+			k := make([]byte, 1+rng.Intn(8))
+			for i := range k {
+				k[i] = byte('a' + rng.Intn(6))
+			}
+			keys[string(k)] = true
+			tr.Insert(k)
+		}
+		mkBound := func() []byte {
+			if rng.Intn(4) == 0 {
+				return nil
+			}
+			k := make([]byte, 1+rng.Intn(8))
+			for i := range k {
+				k[i] = byte('a' + rng.Intn(6))
+			}
+			return k
+		}
+		lo, hi := mkBound(), mkBound()
+		if lo != nil && hi != nil && bytes.Compare(lo, hi) > 0 {
+			lo, hi = hi, lo
+		}
+
+		var want []string
+		tr.Walk(func(key []byte, _ int32) bool {
+			if lo != nil && bytes.Compare(key, lo) < 0 {
+				return true
+			}
+			if hi != nil && bytes.Compare(key, hi) >= 0 {
+				return true
+			}
+			want = append(want, string(key))
+			return true
+		})
+		var got []string
+		tr.WalkRange(lo, hi, func(key []byte, _ int32) bool {
+			got = append(got, string(key))
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d [%q,%q): got %d keys, want %d",
+				trial, lo, hi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d: %q vs %q", trial, i, got[i], want[i])
+			}
+		}
+		if !sort.StringsAreSorted(got) {
+			t.Fatalf("trial %d: range walk unsorted", trial)
+		}
+	}
+}
+
+func TestWalkRangeBounds(t *testing.T) {
+	tr := New()
+	for _, k := range []string{"apple", "banana", "cherry", "date", "fig"} {
+		tr.Insert([]byte(k))
+	}
+	collect := func(lo, hi []byte) []string {
+		var out []string
+		tr.WalkRange(lo, hi, func(key []byte, _ int32) bool {
+			out = append(out, string(key))
+			return true
+		})
+		return out
+	}
+	// Inclusive lower, exclusive upper.
+	got := collect([]byte("banana"), []byte("date"))
+	if len(got) != 2 || got[0] != "banana" || got[1] != "cherry" {
+		t.Errorf("range [banana,date) = %v", got)
+	}
+	// Full range.
+	if got := collect(nil, nil); len(got) != 5 {
+		t.Errorf("full range = %v", got)
+	}
+	// Empty range.
+	if got := collect([]byte("x"), nil); got != nil {
+		t.Errorf("empty range = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.WalkRange(nil, nil, func([]byte, int32) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}

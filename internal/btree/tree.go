@@ -1,0 +1,430 @@
+package btree
+
+import "bytes"
+
+// Tree is one dictionary B-tree, covering a single trie collection.
+// Keys are trie-stripped term byte strings; each key owns a postings
+// slot assigned sequentially in insertion order of first appearance.
+//
+// A Tree is confined to one indexer thread (§III.E: "every indexer
+// keeps an independent and exclusive part of the global dictionary"),
+// so it performs no locking.
+type Tree struct {
+	nodes []Node
+	arena arena
+	root  int32
+	terms int32 // number of distinct keys == next postings slot
+
+	// cacheOnly disables the string arena fast path for the
+	// string-cache ablation bench: when true every key comparison
+	// goes through the arena even if the cache could decide it.
+	disableCache bool
+}
+
+// arena stores the "remaining" bytes of each key (beyond the 4-byte
+// node cache) as 1-byte-length-prefixed records (Fig. 6).
+type arena struct {
+	buf []byte
+}
+
+func (a *arena) add(rest []byte) int32 {
+	if len(rest) > 255 {
+		// The paper assumes no term exceeds 255 bytes; tokenizer
+		// enforces this, so arena callers never see longer rests.
+		rest = rest[:255]
+	}
+	off := int32(len(a.buf))
+	a.buf = append(a.buf, byte(len(rest)))
+	a.buf = append(a.buf, rest...)
+	return off
+}
+
+func (a *arena) get(off int32) []byte {
+	n := int(a.buf[off])
+	return a.buf[off+1 : off+1+int32(n)]
+}
+
+// New returns an empty tree with a preallocated single-leaf root.
+func New() *Tree {
+	t := &Tree{root: 0}
+	t.nodes = append(t.nodes, Node{Leaf: 1})
+	initChildren(&t.nodes[0])
+	return t
+}
+
+// NewNoCache returns a tree whose comparisons always dereference the
+// string arena, for the string-cache ablation.
+func NewNoCache() *Tree {
+	t := New()
+	t.disableCache = true
+	return t
+}
+
+func initChildren(n *Node) {
+	for i := range n.Children {
+		n.Children[i] = NilPtr
+	}
+	for i := range n.StringPtr {
+		n.StringPtr[i] = NilPtr
+	}
+	for i := range n.PostingsPtr {
+		n.PostingsPtr[i] = NilPtr
+	}
+}
+
+// Terms reports the number of distinct keys inserted.
+func (t *Tree) Terms() int { return int(t.terms) }
+
+// Nodes reports the number of allocated nodes.
+func (t *Tree) Nodes() int { return len(t.nodes) }
+
+// ArenaBytes reports the size of the string arena.
+func (t *Tree) ArenaBytes() int { return len(t.arena.buf) }
+
+// cacheKey builds the zero-padded 4-byte cache image of a key.
+func cacheKey(key []byte) (c [CacheBytes]byte) {
+	copy(c[:], key)
+	return c
+}
+
+// splitKey returns the cache image and the arena "rest" of a key.
+func splitKey(key []byte) (c [CacheBytes]byte, rest []byte) {
+	copy(c[:], key)
+	if len(key) > CacheBytes {
+		rest = key[CacheBytes:]
+	}
+	return c, rest
+}
+
+// compareAt orders key against the i-th key of node n: negative when
+// key sorts before it, zero on equality. The 4-byte cache resolves the
+// comparison whenever the caches differ or both keys fit entirely in
+// the cache; only a cache tie on long keys touches the arena
+// (§III.B.2: "it is a rare case that two arbitrary terms share the
+// same long prefix").
+func (t *Tree) compareAt(key []byte, n *Node, i int) int {
+	if !t.disableCache {
+		kc := cacheKey(key)
+		if c := bytes.Compare(kc[:], n.Cache[i][:]); c != 0 {
+			return c
+		}
+		// Caches equal: decide on the remainders.
+		var keyRest []byte
+		if len(key) > CacheBytes {
+			keyRest = key[CacheBytes:]
+		}
+		var nodeRest []byte
+		if n.StringPtr[i] != NilPtr {
+			nodeRest = t.arena.get(n.StringPtr[i])
+		}
+		return bytes.Compare(keyRest, nodeRest)
+	}
+	// Ablation path: reconstruct the stored key and compare fully.
+	stored := make([]byte, 0, 32)
+	stored = append(stored, n.Cache[i][:]...)
+	for len(stored) > 0 && stored[len(stored)-1] == 0 {
+		stored = stored[:len(stored)-1]
+	}
+	if n.StringPtr[i] != NilPtr {
+		stored = append(stored, t.arena.get(n.StringPtr[i])...)
+	}
+	return bytes.Compare(key, stored)
+}
+
+// findInNode locates key within node n: found reports an exact match
+// at position pos; otherwise pos is the child index to descend into
+// (equivalently, the insert position among the node's keys).
+func (t *Tree) findInNode(key []byte, n *Node) (pos int, found bool) {
+	lo, hi := 0, int(n.ValidCount)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := t.compareAt(key, n, mid); {
+		case c == 0:
+			return mid, true
+		case c < 0:
+			hi = mid
+		default:
+			lo = mid + 1
+		}
+	}
+	return lo, false
+}
+
+// MaxKeyLen is the longest representable key: 4 cache bytes plus a
+// 255-byte arena remainder (the paper's 1-byte length field, Fig. 6).
+// Longer keys are truncated consistently on insert and lookup.
+const MaxKeyLen = CacheBytes + 255
+
+func clampKey(key []byte) []byte {
+	if len(key) > MaxKeyLen {
+		return key[:MaxKeyLen]
+	}
+	return key
+}
+
+// Lookup returns the postings slot of key, or -1 when absent.
+func (t *Tree) Lookup(key []byte) int32 {
+	key = clampKey(key)
+	idx := t.root
+	for {
+		n := &t.nodes[idx]
+		pos, found := t.findInNode(key, n)
+		if found {
+			return n.PostingsPtr[pos]
+		}
+		if n.Leaf == 1 {
+			return -1
+		}
+		idx = n.Children[pos]
+	}
+}
+
+// Insert finds or creates the key and returns its postings slot along
+// with whether the key was newly created. The key must not contain NUL
+// bytes (the tokenizer guarantees this) and is copied, so the caller
+// may reuse the buffer.
+func (t *Tree) Insert(key []byte) (slot int32, created bool) {
+	key = clampKey(key)
+	if t.nodes[t.root].ValidCount == MaxKeys {
+		// Grow upward: new root, old root becomes child 0 and splits.
+		oldRoot := t.root
+		t.nodes = append(t.nodes, Node{Leaf: 0})
+		newRoot := int32(len(t.nodes) - 1)
+		initChildren(&t.nodes[newRoot])
+		t.nodes[newRoot].Children[0] = oldRoot
+		t.root = newRoot
+		t.splitChild(newRoot, 0)
+	}
+	return t.insertNonFull(t.root, key)
+}
+
+// splitChild splits the full child at childPos of node parentIdx into
+// two Degree-1-key nodes, hoisting the median key (the paper's
+// "Splitting" operation).
+func (t *Tree) splitChild(parentIdx int32, childPos int) {
+	childIdx := t.nodes[parentIdx].Children[childPos]
+	t.nodes = append(t.nodes, Node{})
+	rightIdx := int32(len(t.nodes) - 1)
+	right := &t.nodes[rightIdx]
+	initChildren(right)
+	child := &t.nodes[childIdx] // reacquire: append may have moved the slice
+	parent := &t.nodes[parentIdx]
+
+	right.Leaf = child.Leaf
+	right.ValidCount = Degree - 1
+	for i := 0; i < Degree-1; i++ {
+		right.Cache[i] = child.Cache[Degree+i]
+		right.StringPtr[i] = child.StringPtr[Degree+i]
+		right.PostingsPtr[i] = child.PostingsPtr[Degree+i]
+	}
+	if child.Leaf == 0 {
+		for i := 0; i < Degree; i++ {
+			right.Children[i] = child.Children[Degree+i]
+			child.Children[Degree+i] = NilPtr
+		}
+	}
+	child.ValidCount = Degree - 1
+
+	// Shift the parent's keys/children right to open slot childPos.
+	for i := int(parent.ValidCount); i > childPos; i-- {
+		parent.Cache[i] = parent.Cache[i-1]
+		parent.StringPtr[i] = parent.StringPtr[i-1]
+		parent.PostingsPtr[i] = parent.PostingsPtr[i-1]
+		parent.Children[i+1] = parent.Children[i]
+	}
+	parent.Cache[childPos] = child.Cache[Degree-1]
+	parent.StringPtr[childPos] = child.StringPtr[Degree-1]
+	parent.PostingsPtr[childPos] = child.PostingsPtr[Degree-1]
+	parent.Children[childPos+1] = rightIdx
+	parent.ValidCount++
+
+	// Scrub the moved-out half of the child for determinism.
+	for i := Degree - 1; i < MaxKeys; i++ {
+		child.Cache[i] = [CacheBytes]byte{}
+		child.StringPtr[i] = NilPtr
+		child.PostingsPtr[i] = NilPtr
+	}
+}
+
+// insertNonFull inserts key under node idx, which is guaranteed not
+// full; full children are split before descending (the paper splits
+// "before accessing a B-tree node").
+func (t *Tree) insertNonFull(idx int32, key []byte) (slot int32, created bool) {
+	for {
+		n := &t.nodes[idx]
+		pos, found := t.findInNode(key, n)
+		if found {
+			return n.PostingsPtr[pos], false
+		}
+		if n.Leaf == 1 {
+			// The paper's "Inserting": shift larger keys right, then
+			// place the new key with its cache and arena remainder.
+			for i := int(n.ValidCount); i > pos; i-- {
+				n.Cache[i] = n.Cache[i-1]
+				n.StringPtr[i] = n.StringPtr[i-1]
+				n.PostingsPtr[i] = n.PostingsPtr[i-1]
+			}
+			c, rest := splitKey(key)
+			n.Cache[pos] = c
+			if rest != nil {
+				sp := t.arena.add(rest)
+				n = &t.nodes[idx] // arena append cannot move nodes, but stay uniform
+				n.StringPtr[pos] = sp
+			} else {
+				n.StringPtr[pos] = NilPtr
+			}
+			slot = t.terms
+			t.terms++
+			n.PostingsPtr[pos] = slot
+			n.ValidCount++
+			return slot, true
+		}
+		childIdx := n.Children[pos]
+		if t.nodes[childIdx].ValidCount == MaxKeys {
+			t.splitChild(idx, pos)
+			// The hoisted median may equal or precede the key; redo
+			// the position scan on this node.
+			continue
+		}
+		idx = childIdx
+	}
+}
+
+// Key reconstructs the i-th stored key of node n (stripped form).
+func (t *Tree) key(n *Node, i int) []byte {
+	out := make([]byte, 0, 16)
+	for _, b := range n.Cache[i] {
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	if n.StringPtr[i] != NilPtr {
+		out = append(out, t.arena.get(n.StringPtr[i])...)
+	}
+	return out
+}
+
+// Walk visits every (strippedKey, postingsSlot) pair in ascending key
+// order. Returning false from fn stops the walk.
+func (t *Tree) Walk(fn func(key []byte, slot int32) bool) {
+	t.walk(t.root, fn)
+}
+
+func (t *Tree) walk(idx int32, fn func(key []byte, slot int32) bool) bool {
+	n := &t.nodes[idx]
+	for i := 0; i < int(n.ValidCount); i++ {
+		if n.Leaf == 0 {
+			if !t.walk(n.Children[i], fn) {
+				return false
+			}
+		}
+		if !fn(t.key(n, i), n.PostingsPtr[i]) {
+			return false
+		}
+	}
+	if n.Leaf == 0 && n.ValidCount > 0 {
+		return t.walk(n.Children[n.ValidCount], fn)
+	}
+	return true
+}
+
+// WalkRange visits keys in [lo, hi) in ascending order (nil lo means
+// from the start, nil hi means to the end). Returning false stops the
+// walk. Used for dictionary range scans and prefix queries.
+func (t *Tree) WalkRange(lo, hi []byte, fn func(key []byte, slot int32) bool) {
+	t.walkRange(t.root, lo, hi, fn)
+}
+
+func (t *Tree) walkRange(idx int32, lo, hi []byte, fn func(key []byte, slot int32) bool) bool {
+	n := &t.nodes[idx]
+	// First key position >= lo; earlier keys and their left subtrees
+	// are entirely below the range.
+	start := 0
+	if lo != nil {
+		var found bool
+		start, found = t.findInNode(lo, n)
+		if found {
+			// Inclusive lower bound: emit the exact match (its left
+			// subtree is all < lo), then continue unbounded below.
+			key := t.key(n, start)
+			if hi != nil && bytes.Compare(key, hi) >= 0 {
+				return false
+			}
+			if !fn(key, n.PostingsPtr[start]) {
+				return false
+			}
+			return t.walkTail(n, start+1, hi, fn)
+		}
+	}
+	for i := start; i < int(n.ValidCount); i++ {
+		if n.Leaf == 0 {
+			if !t.walkRange(n.Children[i], lo, hi, fn) {
+				return false
+			}
+			lo = nil
+		}
+		key := t.key(n, i)
+		if hi != nil && bytes.Compare(key, hi) >= 0 {
+			return false
+		}
+		if !fn(key, n.PostingsPtr[i]) {
+			return false
+		}
+		lo = nil
+	}
+	if n.Leaf == 0 && n.ValidCount > 0 {
+		return t.walkRange(n.Children[n.ValidCount], lo, hi, fn)
+	}
+	return true
+}
+
+// walkTail visits keys and subtrees of n from position start onward
+// with no lower bound.
+func (t *Tree) walkTail(n *Node, start int, hi []byte, fn func(key []byte, slot int32) bool) bool {
+	for i := start; i < int(n.ValidCount); i++ {
+		if n.Leaf == 0 {
+			if !t.walkRange(n.Children[i], nil, hi, fn) {
+				return false
+			}
+		}
+		key := t.key(n, i)
+		if hi != nil && bytes.Compare(key, hi) >= 0 {
+			return false
+		}
+		if !fn(key, n.PostingsPtr[i]) {
+			return false
+		}
+	}
+	if n.Leaf == 0 && n.ValidCount > 0 {
+		return t.walkRange(n.Children[n.ValidCount], nil, hi, fn)
+	}
+	return true
+}
+
+// Height reports the tree height (root-only tree has height 1).
+func (t *Tree) Height() int {
+	h := 1
+	idx := t.root
+	for t.nodes[idx].Leaf == 0 {
+		idx = t.nodes[idx].Children[0]
+		h++
+	}
+	return h
+}
+
+// MemoryBytes estimates the dictionary memory footprint: node storage
+// plus the string arena.
+func (t *Tree) MemoryBytes() int {
+	return len(t.nodes)*NodeSize + len(t.arena.buf)
+}
+
+// Root returns the root node index (for serialization and the GPU
+// image export).
+func (t *Tree) Root() int32 { return t.root }
+
+// NodeAt exposes node i read-only for export and invariant checks.
+func (t *Tree) NodeAt(i int32) *Node { return &t.nodes[i] }
+
+// ArenaSnapshot returns the raw arena bytes (read-only).
+func (t *Tree) ArenaSnapshot() []byte { return t.arena.buf }

@@ -1,0 +1,387 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+// TestNodeLayout512 pins the Table II layout: a node is exactly 512
+// bytes and every field sits at its documented offset.
+func TestNodeLayout512(t *testing.T) {
+	if s := unsafe.Sizeof(Node{}); s != NodeSize {
+		t.Fatalf("sizeof(Node) = %d, want %d", s, NodeSize)
+	}
+	var n Node
+	base := uintptr(unsafe.Pointer(&n))
+	checks := []struct {
+		name string
+		off  uintptr
+		want int
+	}{
+		{"ValidCount", uintptr(unsafe.Pointer(&n.ValidCount)) - base, OffValidCount},
+		{"StringPtr", uintptr(unsafe.Pointer(&n.StringPtr)) - base, OffStringPtr},
+		{"Leaf", uintptr(unsafe.Pointer(&n.Leaf)) - base, OffLeaf},
+		{"PostingsPtr", uintptr(unsafe.Pointer(&n.PostingsPtr)) - base, OffPostingsPtr},
+		{"Children", uintptr(unsafe.Pointer(&n.Children)) - base, OffChildren},
+		{"Cache", uintptr(unsafe.Pointer(&n.Cache)) - base, OffCache},
+		{"Padding", uintptr(unsafe.Pointer(&n.Padding)) - base, OffPadding},
+	}
+	for _, c := range checks {
+		if int(c.off) != c.want {
+			t.Errorf("offset of %s = %d, want %d", c.name, c.off, c.want)
+		}
+	}
+	if OffPadding+4 != NodeSize {
+		t.Errorf("layout does not fill 512 bytes: padding ends at %d", OffPadding+4)
+	}
+}
+
+func TestNodeMarshalRoundTrip(t *testing.T) {
+	var n Node
+	n.ValidCount = 7
+	n.Leaf = 1
+	for i := 0; i < MaxKeys; i++ {
+		n.StringPtr[i] = int32(i * 3)
+		n.PostingsPtr[i] = int32(i * 5)
+		copy(n.Cache[i][:], fmt.Sprintf("%04d", i))
+	}
+	for i := 0; i < MaxChildren; i++ {
+		n.Children[i] = int32(i) - 1
+	}
+	buf := make([]byte, NodeSize)
+	n.Marshal(buf)
+	var m Node
+	m.Unmarshal(buf)
+	if m != n {
+		t.Error("marshal/unmarshal round trip changed node")
+	}
+}
+
+func TestInsertLookupBasic(t *testing.T) {
+	tr := New()
+	slot, created := tr.Insert([]byte("lication"))
+	if !created || slot != 0 {
+		t.Fatalf("first insert: slot=%d created=%v", slot, created)
+	}
+	slot2, created2 := tr.Insert([]byte("lication"))
+	if created2 || slot2 != slot {
+		t.Fatalf("duplicate insert: slot=%d created=%v", slot2, created2)
+	}
+	if got := tr.Lookup([]byte("lication")); got != slot {
+		t.Fatalf("Lookup = %d, want %d", got, slot)
+	}
+	if got := tr.Lookup([]byte("missing")); got != -1 {
+		t.Fatalf("Lookup(missing) = %d, want -1", got)
+	}
+}
+
+func TestShortAndEmptyKeys(t *testing.T) {
+	tr := New()
+	keys := []string{"", "a", "ab", "abc", "abcd", "abcde", "b"}
+	slots := map[string]int32{}
+	for _, k := range keys {
+		s, created := tr.Insert([]byte(k))
+		if !created {
+			t.Fatalf("key %q not created", k)
+		}
+		slots[k] = s
+	}
+	for _, k := range keys {
+		if got := tr.Lookup([]byte(k)); got != slots[k] {
+			t.Errorf("Lookup(%q) = %d, want %d", k, got, slots[k])
+		}
+	}
+	if tr.Terms() != len(keys) {
+		t.Errorf("Terms = %d, want %d", tr.Terms(), len(keys))
+	}
+}
+
+// TestCachePrefixDiscrimination exercises keys that agree on the 4-byte
+// cache and differ only in the arena remainder.
+func TestCachePrefixDiscrimination(t *testing.T) {
+	tr := New()
+	keys := []string{"licationally", "lication", "licationism", "lica", "licb"}
+	for _, k := range keys {
+		tr.Insert([]byte(k))
+	}
+	for _, k := range keys {
+		if tr.Lookup([]byte(k)) < 0 {
+			t.Errorf("lost key %q", k)
+		}
+	}
+	var walked []string
+	tr.Walk(func(key []byte, _ int32) bool {
+		walked = append(walked, string(key))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(walked) != len(want) {
+		t.Fatalf("walked %d keys, want %d", len(walked), len(want))
+	}
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Errorf("walk[%d] = %q, want %q", i, walked[i], want[i])
+		}
+	}
+}
+
+func insertMany(t *testing.T, tr *Tree, n int, seed int64) map[string]int32 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	slots := map[string]int32{}
+	for len(slots) < n {
+		k := make([]byte, 1+rng.Intn(12))
+		for i := range k {
+			k[i] = byte('a' + rng.Intn(26))
+		}
+		slot, created := tr.Insert(k)
+		if prev, seen := slots[string(k)]; seen {
+			if created || slot != prev {
+				t.Fatalf("key %q: duplicate insert returned slot=%d created=%v, want %d,false",
+					k, slot, created, prev)
+			}
+		} else {
+			if !created {
+				t.Fatalf("key %q: first insert not created", k)
+			}
+			slots[string(k)] = slot
+		}
+	}
+	return slots
+}
+
+func TestLargeInsertSortedWalk(t *testing.T) {
+	tr := New()
+	slots := insertMany(t, tr, 5000, 1)
+	var keys []string
+	prev := ""
+	first := true
+	tr.Walk(func(key []byte, slot int32) bool {
+		k := string(key)
+		if !first && k <= prev {
+			t.Fatalf("walk out of order: %q after %q", k, prev)
+		}
+		if want, ok := slots[k]; !ok || want != slot {
+			t.Fatalf("walk key %q slot %d, want %d (present %v)", k, slot, want, ok)
+		}
+		prev, first = k, false
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != len(slots) {
+		t.Fatalf("walk visited %d keys, want %d", len(keys), len(slots))
+	}
+}
+
+func TestHeightBound(t *testing.T) {
+	tr := New()
+	n := 20000
+	insertMany(t, tr, n, 2)
+	// Paper §III.B: height of an n-key B-tree is at most
+	// 1 + log_t((n+1)/2).
+	bound := 1 + int(math.Ceil(math.Log(float64(n+1)/2)/math.Log(Degree)))
+	if h := tr.Height(); h > bound {
+		t.Errorf("height %d exceeds bound %d for %d keys", h, bound, n)
+	}
+}
+
+// TestNodeOccupancyInvariant checks the B-tree structural invariants:
+// every non-root node holds >= MinKeys keys, all hold <= MaxKeys, and
+// all leaves sit at the same depth.
+func TestNodeOccupancyInvariant(t *testing.T) {
+	tr := New()
+	insertMany(t, tr, 8000, 3)
+	leafDepth := -1
+	var check func(idx int32, depth int)
+	check = func(idx int32, depth int) {
+		n := tr.NodeAt(idx)
+		if int(n.ValidCount) > MaxKeys {
+			t.Fatalf("node %d overfull: %d", idx, n.ValidCount)
+		}
+		if idx != tr.Root() && int(n.ValidCount) < MinKeys {
+			t.Fatalf("node %d underfull: %d", idx, n.ValidCount)
+		}
+		if n.Leaf == 1 {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				t.Fatalf("leaf at depth %d, expected %d", depth, leafDepth)
+			}
+			return
+		}
+		for i := 0; i <= int(n.ValidCount); i++ {
+			if n.Children[i] == NilPtr {
+				t.Fatalf("internal node %d missing child %d", idx, i)
+			}
+			check(n.Children[i], depth+1)
+		}
+	}
+	check(tr.Root(), 0)
+}
+
+func TestSlotsAreDense(t *testing.T) {
+	tr := New()
+	slots := insertMany(t, tr, 3000, 4)
+	seen := make([]bool, len(slots))
+	for _, s := range slots {
+		if int(s) >= len(seen) || seen[s] {
+			t.Fatalf("slot %d out of range or duplicated", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestQuickRandomSetMatchesMap(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		tr := New()
+		ref := map[string]int32{}
+		for _, rk := range raw {
+			k := make([]byte, 0, len(rk)%16)
+			for _, c := range rk {
+				if len(k) >= 16 {
+					break
+				}
+				k = append(k, 'a'+c%26)
+			}
+			slot, created := tr.Insert(k)
+			if prev, ok := ref[string(k)]; ok {
+				if created || slot != prev {
+					return false
+				}
+			} else {
+				if !created {
+					return false
+				}
+				ref[string(k)] = slot
+			}
+		}
+		for k, want := range ref {
+			if tr.Lookup([]byte(k)) != want {
+				return false
+			}
+		}
+		return tr.Terms() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoCacheTreeEquivalence(t *testing.T) {
+	a, b := New(), NewNoCache()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4000; i++ {
+		k := make([]byte, 1+rng.Intn(10))
+		for j := range k {
+			k[j] = byte('a' + rng.Intn(4)) // heavy prefix collisions
+		}
+		sa, ca := a.Insert(k)
+		sb, cb := b.Insert(k)
+		if sa != sb || ca != cb {
+			t.Fatalf("divergence on %q: (%d,%v) vs (%d,%v)", k, sa, ca, sb, cb)
+		}
+	}
+	var ka, kb []string
+	a.Walk(func(key []byte, _ int32) bool { ka = append(ka, string(key)); return true })
+	b.Walk(func(key []byte, _ int32) bool { kb = append(kb, string(key)); return true })
+	if len(ka) != len(kb) {
+		t.Fatalf("walk lengths differ: %d vs %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("walk[%d]: %q vs %q", i, ka[i], kb[i])
+		}
+	}
+}
+
+func TestLongKeyTruncation(t *testing.T) {
+	// Keys longer than 255+4 bytes are truncated in the arena per the
+	// paper's 1-byte-length assumption; lookup of the same long key
+	// still succeeds.
+	tr := New()
+	long := bytes.Repeat([]byte("x"), 400)
+	slot, created := tr.Insert(long)
+	if !created {
+		t.Fatal("long key not created")
+	}
+	if got := tr.Lookup(long); got != slot {
+		t.Fatalf("Lookup(long) = %d, want %d", got, slot)
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	tr := New()
+	if tr.MemoryBytes() != NodeSize {
+		t.Errorf("empty tree memory = %d, want %d", tr.MemoryBytes(), NodeSize)
+	}
+	tr.Insert([]byte("abcdefgh"))
+	want := tr.Nodes()*NodeSize + tr.ArenaBytes()
+	if tr.MemoryBytes() != want {
+		t.Errorf("memory = %d, want %d", tr.MemoryBytes(), want)
+	}
+	if tr.ArenaBytes() != 1+4 { // length byte + "efgh"
+		t.Errorf("arena = %d bytes, want 5", tr.ArenaBytes())
+	}
+}
+
+func BenchmarkInsertDistinct(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		k := make([]byte, 4+rng.Intn(8))
+		for j := range k {
+			k[j] = byte('a' + rng.Intn(26))
+		}
+		keys[i] = k
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tr := New()
+	rng := rand.New(rand.NewSource(2))
+	keys := make([][]byte, 1<<14)
+	for i := range keys {
+		k := make([]byte, 4+rng.Intn(8))
+		for j := range k {
+			k[j] = byte('a' + rng.Intn(26))
+		}
+		keys[i] = k
+		tr.Insert(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(keys[i&(1<<14-1)])
+	}
+}
+
+func BenchmarkInsertNoCacheAblation(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	keys := make([][]byte, 1<<16)
+	for i := range keys {
+		k := make([]byte, 8+rng.Intn(8))
+		for j := range k {
+			k[j] = byte('a' + rng.Intn(26))
+		}
+		keys[i] = k
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	tr := NewNoCache()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i&(1<<16-1)])
+	}
+}

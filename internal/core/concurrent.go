@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/pipesim"
+	"fastinvert/internal/sampling"
+	"fastinvert/internal/stopwords"
+	"fastinvert/internal/store"
+)
+
+// Concurrent execution of the pipeline with real goroutines, mirroring
+// Fig. 9's dataflow:
+//
+//   - a disk goroutine reads container files strictly in order (the
+//     paper's read scheduler serializes disk access);
+//   - M parser goroutines each own the files with f mod M == p,
+//     receiving raw bytes over a depth-1 channel (the parser buffer)
+//     and emitting parsed blocks;
+//   - a sequencer consumes blocks in file order — preserving the
+//     round-robin consumption that keeps postings document-sorted —
+//     fans each block's shares out to the CPU and GPU indexers in
+//     parallel, then runs the serialized post-processing.
+//
+// The result is bit-identical to the serial executor: identical run
+// files, dictionary and report counters. Stage durations are measured
+// the same way and feed the same pipesim schedule, so modeled timings
+// remain comparable across executors; on a multicore host the
+// concurrent executor additionally delivers real wall-clock overlap.
+
+// parsedFile is one file after the parser stage.
+type parsedFile struct {
+	f        int
+	blk      *parser.Block
+	docs     int
+	offsets  []int // per-doc byte offsets within the uncompressed file
+	byteLens []int // per-doc byte lengths
+	item     pipesim.Item
+	stored   int
+	plain    int
+	err      error
+}
+
+// BuildConcurrent runs the full pipeline with goroutine parallelism.
+func (e *Engine) BuildConcurrent(src corpus.Source) (*Report, error) {
+	rep := &Report{Files: src.NumFiles()}
+	e.docLens = e.docLens[:0]
+	e.docFiles = e.docFiles[:0]
+	e.docLocs = e.docLocs[:0]
+
+	t0 := time.Now()
+	counts, err := sampling.Sample(src, e.cfg.Sampling)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.RandomSplit {
+		e.assign, err = sampling.AssignRandom(counts, e.cfg.CPUIndexers, e.cfg.GPUs,
+			e.cfg.Sampling.PopularCount, e.cfg.RandomSplitSeed)
+	} else {
+		e.assign, err = sampling.Assign(counts, e.cfg.CPUIndexers, e.cfg.GPUs,
+			e.cfg.Sampling.PopularCount)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.SamplingSec = e.measure(t0)
+
+	var writer *store.IndexWriter
+	if e.cfg.OutDir != "" {
+		writer, err = store.NewIndexWriter(e.cfg.OutDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	n := src.NumFiles()
+	m := e.cfg.Parsers
+	nIdx := e.cfg.CPUIndexers + e.cfg.GPUs
+
+	// Disk goroutine: serialized in-order reads, routed to the owning
+	// parser. Channel depth 1 per parser = one raw file in flight.
+	type rawFile struct {
+		f      int
+		stored []byte
+		gz     bool
+		err    error
+	}
+	parserIn := make([]chan rawFile, m)
+	for p := range parserIn {
+		parserIn[p] = make(chan rawFile, 1)
+	}
+	go func() {
+		defer func() {
+			for _, ch := range parserIn {
+				close(ch)
+			}
+		}()
+		for f := 0; f < n; f++ {
+			stored, gz, err := src.ReadFile(f)
+			parserIn[f%m] <- rawFile{f: f, stored: stored, gz: gz, err: err}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Parser goroutines.
+	results := make(chan parsedFile, m)
+	var wg sync.WaitGroup
+	for p := 0; p < m; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			psr := e.newParser()
+			for raw := range parserIn[p] {
+				results <- e.parseOne(psr, raw.f, raw.stored, raw.gz, raw.err)
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Sequencer: consume blocks in file order, index shares in
+	// parallel, post-process serially.
+	pending := make(map[int]parsedFile)
+	items := make([]pipesim.Item, 0, n)
+	var docBase uint32
+	next := 0
+	for next < n {
+		pf, ok := pending[next]
+		if !ok {
+			r, open := <-results
+			if !open {
+				return nil, fmt.Errorf("core: parser stage ended early at file %d", next)
+			}
+			pending[r.f] = r
+			continue
+		}
+		delete(pending, next)
+		if pf.err != nil {
+			return nil, pf.err
+		}
+		rep.CompressedBytes += int64(pf.stored)
+		rep.UncompressedBytes += int64(pf.plain)
+		rep.Docs += int64(pf.docs)
+		rep.Tokens += int64(pf.blk.Tokens)
+
+		if err := e.indexBlockConcurrent(pf.blk, docBase, &pf.item, rep); err != nil {
+			return nil, err
+		}
+		if err := e.postProcessBlock(&pf, docBase, src.FileName(pf.f), rep, writer); err != nil {
+			return nil, err
+		}
+		docBase += uint32(pf.docs)
+		items = append(items, pf.item)
+		next++
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(next, n)
+		}
+	}
+
+	return e.finishReport(rep, items, nIdx, writer)
+}
+
+// newParser builds a parser honoring the configured stop-word list
+// and positional mode.
+func (e *Engine) newParser() *parser.Parser {
+	var p *parser.Parser
+	if e.cfg.StopWords == nil {
+		p = parser.New(nil)
+	} else {
+		p = parser.New(stopwords.NewSet(e.cfg.StopWords))
+	}
+	p.Positional = e.cfg.Positional
+	return p
+}
+
+// parseOne executes the parser stage (read modeling, decompression,
+// parse) for one file.
+func (e *Engine) parseOne(psr *parser.Parser, f int, stored []byte, gz bool, readErr error) parsedFile {
+	pf := parsedFile{f: f, stored: len(stored)}
+	if readErr != nil {
+		pf.err = fmt.Errorf("core: read file %d: %w", f, readErr)
+		return pf
+	}
+	pf.item = pipesim.Item{
+		ReadSec:  e.cfg.DiskLatencySec + float64(len(stored))/e.cfg.DiskBytesPerSec,
+		IndexSec: make([]float64, e.cfg.CPUIndexers+e.cfg.GPUs),
+	}
+	t := time.Now()
+	plain, err := corpus.Decompress(stored, gz)
+	if err != nil {
+		pf.err = fmt.Errorf("core: decompress file %d: %w", f, err)
+		return pf
+	}
+	if gz {
+		pf.item.DecompressSec = e.measure(t)
+	}
+	pf.plain = len(plain)
+
+	t = time.Now()
+	blk := parser.NewBlock(f % e.cfg.Parsers)
+	docs, offsets := corpus.SplitDocsOffsets(plain)
+	for d, doc := range docs {
+		psr.ParseDoc(uint32(d), doc, blk)
+	}
+	pf.item.ParseSec = e.measure(t)
+	pf.blk = blk
+	pf.docs = len(docs)
+	pf.offsets = offsets
+	pf.byteLens = make([]int, len(docs))
+	for d, doc := range docs {
+		pf.byteLens[d] = len(doc)
+	}
+	return pf
+}
+
+// indexBlockConcurrent fans the block's shares out to all indexers in
+// parallel and records their measured/modeled durations.
+func (e *Engine) indexBlockConcurrent(blk *parser.Block, docBase uint32, item *pipesim.Item, rep *Report) error {
+	cpuShares, gpuShares := e.splitShares(blk)
+	var wg sync.WaitGroup
+	errs := make([]error, e.cfg.CPUIndexers+e.cfg.GPUs)
+	var mu sync.Mutex // guards rep's GPU pre/post accumulators
+	for i := range e.cpuIxs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := time.Now()
+			if _, err := e.cpuIxs[i].IndexRun(cpuShares[i], docBase); err != nil {
+				errs[i] = err
+				return
+			}
+			item.IndexSec[i] = e.measure(t)
+		}(i)
+	}
+	for j := range e.gpuIxs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			rs, err := e.gpuIxs[j].IndexRun(gpuShares[j], docBase)
+			if err != nil {
+				errs[e.cfg.CPUIndexers+j] = err
+				return
+			}
+			item.IndexSec[e.cfg.CPUIndexers+j] = e.gpuShare(rs.PreSec, rs.KernelSec, rs.PostSec)
+			mu.Lock()
+			rep.PreProcessingSec += rs.PreSec
+			rep.PostProcessingSec += rs.PostSec
+			mu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitShares partitions a block's groups by indexer owner in
+// deterministic collection order.
+func (e *Engine) splitShares(blk *parser.Block) (cpuShares, gpuShares [][]*parser.Group) {
+	cpuShares = make([][]*parser.Group, e.cfg.CPUIndexers)
+	gpuShares = make([][]*parser.Group, e.cfg.GPUs)
+	idxs := make([]int, 0, len(blk.Groups))
+	for gi := range blk.Groups {
+		idxs = append(idxs, gi)
+	}
+	sort.Ints(idxs)
+	for _, gi := range idxs {
+		kind, owner := e.assign.Owner(gi)
+		if kind == sampling.KindCPU {
+			cpuShares[owner] = append(cpuShares[owner], blk.Groups[gi])
+		} else {
+			gpuShares[owner] = append(gpuShares[owner], blk.Groups[gi])
+		}
+	}
+	return cpuShares, gpuShares
+}
+
+// postProcessBlock runs the serialized per-run post-processing:
+// combine postings, compress, write the run file, account stats.
+func (e *Engine) postProcessBlock(pf *parsedFile, docBase uint32,
+	fileName string, rep *Report, writer *store.IndexWriter) error {
+	blk, docs, plainLen, item := pf.blk, pf.docs, pf.plain, &pf.item
+
+	// Record document lengths (BM25 normalization) and the Step 1
+	// <docID, location on disk> table (§III.C).
+	fileIdx := uint32(len(e.docFiles))
+	e.docFiles = append(e.docFiles, fileName)
+	for d := 0; d < docs; d++ {
+		e.docLens = append(e.docLens, uint32(blk.DocTokens[uint32(d)]))
+		e.docLocs = append(e.docLocs, store.DocLocation{
+			FileIdx: fileIdx,
+			Offset:  uint32(pf.offsets[d]),
+			Length:  uint32(pf.byteLens[d]),
+		})
+	}
+
+	t := time.Now()
+	rb := store.NewRunBuilder()
+	if err := e.flushRun(rb); err != nil {
+		return err
+	}
+	firstDoc := docBase
+	lastDoc := docBase
+	if docs > 0 {
+		lastDoc = docBase + uint32(docs) - 1
+	}
+	if writer != nil {
+		if err := writer.WriteRun(rb, firstDoc, lastDoc); err != nil {
+			return err
+		}
+		rep.PostingsBytes += writer.Runs()[len(writer.Runs())-1].Bytes
+	} else {
+		rep.PostingsBytes += int64(len(rb.Finalize(firstDoc, lastDoc)))
+	}
+	flushSec := e.measure(t)
+	item.PostSec = flushSec
+	rep.PostProcessingSec += flushSec
+
+	maxShare := 0.0
+	for _, s := range item.IndexSec {
+		if s > maxShare {
+			maxShare = s
+		}
+	}
+	rep.IndexingSec += maxShare
+	if e.cfg.KeepPerFileStats {
+		span := maxShare + flushSec
+		rep.PerFile = append(rep.PerFile, FileStat{
+			Name:              fileName,
+			UncompressedBytes: int64(plainLen),
+			IndexSec:          span,
+			ThroughputMBps:    pipesim.Throughput(int64(plainLen), span),
+		})
+	}
+	return nil
+}
+
+// finishReport runs the dictionary phases, Table V accounting and the
+// pipeline schedule — shared by both executors.
+func (e *Engine) finishReport(rep *Report, items []pipesim.Item, nIdx int, writer *store.IndexWriter) (*Report, error) {
+	t := time.Now()
+	dict := e.collectDictionary()
+	rep.DictCombineSec = e.measure(t)
+	rep.Terms = int64(len(dict))
+
+	t = time.Now()
+	if writer != nil {
+		if err := writer.WriteDocLens(e.docLens); err != nil {
+			return nil, err
+		}
+		if err := writer.WriteDocTable(e.docFiles, e.docLocs); err != nil {
+			return nil, err
+		}
+		if err := writer.Finish(dict); err != nil {
+			return nil, err
+		}
+	}
+	rep.DictionaryBytes = int64(store.FrontCodedSize(dict))
+	rep.DictWriteSec = e.measure(t)
+
+	for _, ix := range e.cpuIxs {
+		st := ix.Stats()
+		rep.CPUTokens += st.Tokens
+		rep.CPUTerms += st.NewTerms
+		rep.CPUChars += st.Chars
+	}
+	for _, ix := range e.gpuIxs {
+		st := ix.Stats()
+		rep.GPUTokens += st.Tokens
+		rep.GPUTerms += st.NewTerms
+		rep.GPUChars += st.Chars
+	}
+
+	res := pipesim.Simulate(pipesim.Config{
+		Parsers:         e.cfg.Parsers,
+		Indexers:        nIdx,
+		BufferPerParser: e.cfg.BufferPerParser,
+	}, items)
+	rep.Schedule = &res
+	rep.ParsersSpanSec = res.ParsersOnlyMakespan
+	rep.IndexersSpanSec = res.MakespanSec
+	rep.TotalSec = rep.SamplingSec + res.MakespanSec + rep.DictCombineSec + rep.DictWriteSec
+	rep.ThroughputMBps = pipesim.Throughput(rep.UncompressedBytes, rep.TotalSec)
+	rep.IndexingThroughputMBps = pipesim.Throughput(rep.UncompressedBytes, rep.IndexersSpanSec)
+	return rep, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastinvert/internal/reference"
+)
+
+// TestConcurrentMatchesSerial pins the concurrent executor's output
+// against the serial executor's: identical dictionary and run files
+// (modulo the docmap's non-deterministic JSON timing fields, which it
+// doesn't have — so byte-for-byte).
+func TestConcurrentMatchesSerial(t *testing.T) {
+	src := testSource(5)
+	shapes := []struct {
+		name              string
+		parsers, cpu, gpu int
+	}{
+		{"3p-2cpu", 3, 2, 0},
+		{"2p-1cpu-2gpu", 2, 1, 2},
+		{"4p-2gpu", 4, 0, 2},
+	}
+	for _, s := range shapes {
+		s := s
+		t.Run(s.name, func(t *testing.T) {
+			serialDir := filepath.Join(t.TempDir(), "serial")
+			concDir := filepath.Join(t.TempDir(), "conc")
+
+			cfg := testConfig(s.parsers, s.cpu, s.gpu)
+			cfg.OutDir = serialDir
+			eng, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repS, err := eng.Build(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg.OutDir = concDir
+			eng, err = New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			repC, err := eng.BuildConcurrent(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if repS.Docs != repC.Docs || repS.Tokens != repC.Tokens || repS.Terms != repC.Terms {
+				t.Fatalf("counters differ: serial %d/%d/%d vs concurrent %d/%d/%d",
+					repS.Docs, repS.Tokens, repS.Terms, repC.Docs, repC.Tokens, repC.Terms)
+			}
+			if repS.CPUTokens != repC.CPUTokens || repS.GPUTokens != repC.GPUTokens {
+				t.Fatalf("split differs: %d/%d vs %d/%d",
+					repS.CPUTokens, repS.GPUTokens, repC.CPUTokens, repC.GPUTokens)
+			}
+
+			// Every persisted artifact must match byte for byte
+			// except docmap.json (identical here too) — compare all.
+			entries, err := os.ReadDir(serialDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ent := range entries {
+				a, err := os.ReadFile(filepath.Join(serialDir, ent.Name()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := os.ReadFile(filepath.Join(concDir, ent.Name()))
+				if err != nil {
+					t.Fatalf("concurrent output missing %s: %v", ent.Name(), err)
+				}
+				if string(a) != string(b) {
+					t.Fatalf("%s differs between executors", ent.Name())
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentMatchesReference checks the concurrent executor
+// end-to-end against the serial reference indexer.
+func TestConcurrentMatchesReference(t *testing.T) {
+	src := testSource(4)
+	ref, err := reference.BuildFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(3, 2, 2)
+	cfg.OutDir = filepath.Join(t.TempDir(), "idx")
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.BuildConcurrent(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Terms != int64(ref.Terms()) {
+		t.Fatalf("terms %d, want %d", rep.Terms, ref.Terms())
+	}
+	got := indexFromDisk(t, cfg.OutDir)
+	if ok, diff := ref.Equal(got); !ok {
+		t.Fatalf("concurrent postings differ from reference at %q", diff)
+	}
+}

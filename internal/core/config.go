@@ -1,0 +1,144 @@
+// Package core implements the paper's complete pipelined indexing
+// system (§III, Fig. 1/8/9): parallel parsers fed by a serialized disk
+// scheduler, the sampling-driven CPU/GPU collection split, CPU and GPU
+// indexers consuming parsed blocks in strict order, per-run postings
+// output, and the final dictionary combine/write.
+//
+// The engine executes the full computation — every document is parsed,
+// every term inserted into a real dictionary, every posting emitted and
+// optionally written to disk — while the parallel timing of the paper's
+// hardware is obtained from the pipesim schedule fed with measured
+// per-stage serial durations (CPU stages), the GPU simulator's cycle
+// model (GPU shares), and the disk bandwidth model (reads). This split
+// keeps results correct everywhere and timing shapes reproducible even
+// on single-core hosts.
+package core
+
+import (
+	"fmt"
+
+	"fastinvert/internal/gpu"
+	"fastinvert/internal/sampling"
+)
+
+// Config selects the pipeline shape and models.
+type Config struct {
+	// Parsers is M, the number of parser threads (Fig. 10 sweeps 1-7).
+	Parsers int
+
+	// CPUIndexers is N1; CPUIndexers+Parsers is bounded by the
+	// modeled core count on the paper's machine, but the engine does
+	// not enforce that — Fig. 10 needs the full sweep.
+	CPUIndexers int
+
+	// GPUs is N2, the number of simulated GPU devices.
+	GPUs int
+
+	// GPU is the device model for each GPU (TeslaC1060 by default,
+	// with a smaller memory for test scale).
+	GPU gpu.Config
+
+	// GPUThreadBlocks is the grid size per kernel launch (480 in the
+	// paper's tuning).
+	GPUThreadBlocks int
+
+	// Sampling tunes the popularity sample (§III.E).
+	Sampling sampling.Config
+
+	// DiskBytesPerSec and DiskLatencySec model the serialized
+	// container-file reads; the paper's source is a remote disk over
+	// 1 Gb Ethernet (~117 MB/s).
+	DiskBytesPerSec float64
+	DiskLatencySec  float64
+
+	// CPUThroughputScale scales measured CPU stage durations to the
+	// modeled platform. 1.0 reports this host's own speeds.
+	CPUThroughputScale float64
+
+	// BufferPerParser is the parsed-block buffer depth per parser.
+	BufferPerParser int
+
+	// OutDir, when non-empty, receives run files, the docmap and the
+	// dictionary. When empty the postings are still built and
+	// compressed (so post-processing cost is real) but not persisted.
+	OutDir string
+
+	// NoCacheDictionary disables the B-tree string caches (ablation).
+	NoCacheDictionary bool
+
+	// RandomSplit replaces the popularity-based CPU/GPU collection
+	// split with a seeded random popular set (ablation of §III.E).
+	RandomSplit     bool
+	RandomSplitSeed int64
+
+	// KeepPerFileStats retains Fig. 11's per-file series.
+	KeepPerFileStats bool
+
+	// OverlapGPUTransfers models double-buffered CUDA streams: the
+	// next run's host-to-device input transfer overlaps the current
+	// kernel, so a GPU's per-run share becomes max(transfer, kernel)
+	// plus the output copy, instead of their sum. The paper's §IV.B
+	// identifies input transfer as a limit on multi-GPU indexing.
+	OverlapGPUTransfers bool
+
+	// Positional builds positional postings: every occurrence carries
+	// its in-document token position through the parsed streams, both
+	// indexer classes, and into the run files — enabling phrase
+	// queries (the paper's Ivory comparison notes positional postings
+	// as the heavier-output variant, §IV.D).
+	Positional bool
+
+	// StopWords overrides the default English stop-word list (nil
+	// keeps the default; an empty non-nil slice disables stop-word
+	// removal entirely).
+	StopWords []string
+
+	// Progress, when non-nil, is invoked after each container file
+	// completes its run (done of total files). Called from the build
+	// goroutine; keep it fast.
+	Progress func(done, total int)
+
+	// Concurrent runs the pipeline with real goroutine parallelism
+	// (disk reader, M parsers, parallel indexer fan-out) instead of
+	// the serial executor. Output is bit-identical either way; on a
+	// multicore host the concurrent executor overlaps the stages the
+	// way the paper's threads do. Timing reports are modeled
+	// identically in both modes.
+	Concurrent bool
+}
+
+// DefaultConfig mirrors the paper's best configuration (§IV.C): six
+// parsers, two CPU indexers, two GPUs.
+func DefaultConfig() Config {
+	g := gpu.TeslaC1060()
+	g.DeviceMemBytes = 256 << 20
+	return Config{
+		Parsers:            6,
+		CPUIndexers:        2,
+		GPUs:               2,
+		GPU:                g,
+		GPUThreadBlocks:    480,
+		Sampling:           sampling.DefaultConfig(),
+		DiskBytesPerSec:    117e6, // 1 Gb Ethernet payload rate
+		DiskLatencySec:     2e-3,
+		CPUThroughputScale: 1.0,
+		BufferPerParser:    1,
+		KeepPerFileStats:   true,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Parsers < 1 {
+		return fmt.Errorf("core: need at least one parser")
+	}
+	if c.CPUIndexers < 0 || c.GPUs < 0 {
+		return fmt.Errorf("core: negative indexer counts")
+	}
+	if c.CPUIndexers+c.GPUs == 0 {
+		return fmt.Errorf("core: need at least one indexer (Fig. 10's parser-only scenario is ParseOnly)")
+	}
+	if c.DiskBytesPerSec <= 0 {
+		return fmt.Errorf("core: disk bandwidth must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/cpuindexer"
+	"fastinvert/internal/gpu"
+	"fastinvert/internal/gpuindexer"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/pipesim"
+	"fastinvert/internal/postings"
+	"fastinvert/internal/sampling"
+	"fastinvert/internal/store"
+	"fastinvert/internal/trie"
+)
+
+// Engine builds inverted files from a corpus source using the paper's
+// pipelined CPU+GPU strategy.
+type Engine struct {
+	cfg Config
+
+	cpuIxs []*cpuindexer.Indexer
+	gpuIxs []*gpuindexer.Indexer
+	assign *sampling.Assignment
+
+	docLens  []uint32 // per-document token counts, in global docID order
+	docFiles []string // container-file names, one per processed file
+	docLocs  []store.DocLocation
+}
+
+// New validates the configuration and allocates the indexers.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CPUThroughputScale <= 0 {
+		cfg.CPUThroughputScale = 1
+	}
+	e := &Engine{cfg: cfg}
+	for i := 0; i < cfg.CPUIndexers; i++ {
+		ix := cpuindexer.New()
+		ix.NoCache = cfg.NoCacheDictionary
+		e.cpuIxs = append(e.cpuIxs, ix)
+	}
+	for j := 0; j < cfg.GPUs; j++ {
+		dev, err := gpu.NewDevice(cfg.GPU)
+		if err != nil {
+			return nil, err
+		}
+		e.gpuIxs = append(e.gpuIxs, gpuindexer.New(dev, gpuindexer.Config{
+			ThreadBlocks: cfg.GPUThreadBlocks,
+		}))
+	}
+	return e, nil
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+func (e *Engine) measure(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() * e.cfg.CPUThroughputScale
+}
+
+// Build runs the complete pipeline over src and returns the report.
+// When cfg.OutDir is set the run files, docmap and dictionary are
+// persisted there.
+func (e *Engine) Build(src corpus.Source) (*Report, error) {
+	rep := &Report{Files: src.NumFiles()}
+	e.docLens = e.docLens[:0]
+	e.docFiles = e.docFiles[:0]
+	e.docLocs = e.docLocs[:0]
+
+	// Sampling phase (§III.E) — serialized before the pipeline.
+	t0 := time.Now()
+	counts, err := sampling.Sample(src, e.cfg.Sampling)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.RandomSplit {
+		e.assign, err = sampling.AssignRandom(counts, e.cfg.CPUIndexers, e.cfg.GPUs,
+			e.cfg.Sampling.PopularCount, e.cfg.RandomSplitSeed)
+	} else {
+		e.assign, err = sampling.Assign(counts, e.cfg.CPUIndexers, e.cfg.GPUs,
+			e.cfg.Sampling.PopularCount)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.SamplingSec = e.measure(t0)
+
+	var writer *store.IndexWriter
+	if e.cfg.OutDir != "" {
+		writer, err = store.NewIndexWriter(e.cfg.OutDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	nIdx := e.cfg.CPUIndexers + e.cfg.GPUs
+	items := make([]pipesim.Item, 0, src.NumFiles())
+	var docBase uint32
+	p := e.newParser()
+
+	for f := 0; f < src.NumFiles(); f++ {
+		stored, compressed, err := src.ReadFile(f)
+		if err != nil {
+			return nil, fmt.Errorf("core: read %s: %w", src.FileName(f), err)
+		}
+		pf := e.parseOne(p, f, stored, compressed, nil)
+		if pf.err != nil {
+			return nil, pf.err
+		}
+		rep.CompressedBytes += int64(pf.stored)
+		rep.UncompressedBytes += int64(pf.plain)
+		rep.Docs += int64(pf.docs)
+		rep.Tokens += int64(pf.blk.Tokens)
+
+		// Index: every indexer consumes its share of this block,
+		// serially here (BuildConcurrent overlaps them).
+		cpuShares, gpuShares := e.splitShares(pf.blk)
+		for i, ix := range e.cpuIxs {
+			t := time.Now()
+			if _, err := ix.IndexRun(cpuShares[i], docBase); err != nil {
+				return nil, err
+			}
+			pf.item.IndexSec[i] = e.measure(t)
+		}
+		for j, ix := range e.gpuIxs {
+			rs, err := ix.IndexRun(gpuShares[j], docBase)
+			if err != nil {
+				return nil, err
+			}
+			pf.item.IndexSec[e.cfg.CPUIndexers+j] = e.gpuShare(rs.PreSec, rs.KernelSec, rs.PostSec)
+			rep.PreProcessingSec += rs.PreSec
+			rep.PostProcessingSec += rs.PostSec
+		}
+
+		if err := e.postProcessBlock(&pf, docBase, src.FileName(f), rep, writer); err != nil {
+			return nil, err
+		}
+		docBase += uint32(pf.docs)
+		items = append(items, pf.item)
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(f+1, src.NumFiles())
+		}
+	}
+	return e.finishReport(rep, items, nIdx, writer)
+}
+
+// gpuShare converts one GPU run's phase times into its pipeline share,
+// optionally hiding the input transfer behind the kernel (double-
+// buffered streams).
+func (e *Engine) gpuShare(pre, kernel, post float64) float64 {
+	if e.cfg.OverlapGPUTransfers {
+		if kernel > pre {
+			return kernel + post
+		}
+		return pre + post
+	}
+	return pre + kernel + post
+}
+
+// flushRun drains every indexer's per-run postings into the builder in
+// deterministic (indexer, collection, slot) order.
+func (e *Engine) flushRun(rb *store.RunBuilder) error {
+	addList := func(coll int, slot int32, l *postings.List) error {
+		if l.Positional() {
+			return rb.AddPositionalList(coll, slot, l.DocIDs, l.TFs, l.Positions)
+		}
+		return rb.AddList(coll, slot, l.DocIDs, l.TFs)
+	}
+	for _, ix := range e.cpuIxs {
+		for _, coll := range ix.Collections() {
+			st := ix.Store(coll)
+			for slot := 0; slot < st.NumSlots(); slot++ {
+				if err := addList(coll, int32(slot), st.List(int32(slot))); err != nil {
+					return err
+				}
+			}
+		}
+		ix.ResetRunPostings()
+	}
+	for _, ix := range e.gpuIxs {
+		for _, coll := range ix.Collections() {
+			st := ix.Store(coll)
+			for slot := 0; slot < st.NumSlots(); slot++ {
+				if err := addList(coll, int32(slot), st.List(int32(slot))); err != nil {
+					return err
+				}
+			}
+		}
+		ix.ResetRunPostings()
+	}
+	return nil
+}
+
+// collectDictionary walks every indexer's dictionaries into one sorted
+// entry list with full terms restored from the trie prefixes.
+func (e *Engine) collectDictionary() []store.DictEntry {
+	var dict []store.DictEntry
+	walk := func(coll int, fn func(func(stripped []byte, slot int32) bool)) {
+		fn(func(stripped []byte, slot int32) bool {
+			dict = append(dict, store.DictEntry{
+				Term:       string(trie.Restore(coll, stripped)),
+				Collection: int32(coll),
+				Slot:       slot,
+			})
+			return true
+		})
+	}
+	for _, ix := range e.cpuIxs {
+		for _, coll := range ix.Collections() {
+			coll := coll
+			walk(coll, func(fn func([]byte, int32) bool) { ix.WalkDictionary(coll, fn) })
+		}
+	}
+	for _, ix := range e.gpuIxs {
+		// Bulk export: one arena snapshot per device (the paper's
+		// final dictionary move to host memory).
+		ix.ExportDictionary(func(coll int, stripped []byte, slot int32) bool {
+			dict = append(dict, store.DictEntry{
+				Term:       string(trie.Restore(coll, stripped)),
+				Collection: int32(coll),
+				Slot:       slot,
+			})
+			return true
+		})
+	}
+	store.SortDictEntries(dict)
+	return dict
+}
+
+// ParseOnly measures Fig. 10's scenario (3): the parsing pipeline with
+// no indexers consuming it.
+func (e *Engine) ParseOnly(src corpus.Source) (*Report, error) {
+	rep := &Report{Files: src.NumFiles()}
+	p := e.newParser()
+	items := make([]pipesim.Item, 0, src.NumFiles())
+	for f := 0; f < src.NumFiles(); f++ {
+		stored, compressed, err := src.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		rep.CompressedBytes += int64(len(stored))
+		item := pipesim.Item{
+			ReadSec: e.cfg.DiskLatencySec + float64(len(stored))/e.cfg.DiskBytesPerSec,
+		}
+		t := time.Now()
+		plain, err := corpus.Decompress(stored, compressed)
+		if err != nil {
+			return nil, err
+		}
+		if compressed {
+			item.DecompressSec = e.measure(t)
+		}
+		rep.UncompressedBytes += int64(len(plain))
+		t = time.Now()
+		blk := parser.NewBlock(f % e.cfg.Parsers)
+		docs := corpus.SplitDocs(plain)
+		for d, doc := range docs {
+			p.ParseDoc(uint32(d), doc, blk)
+		}
+		item.ParseSec = e.measure(t)
+		rep.Docs += int64(len(docs))
+		rep.Tokens += int64(blk.Tokens)
+		items = append(items, item)
+	}
+	res := pipesim.Simulate(pipesim.Config{
+		Parsers:         e.cfg.Parsers,
+		Indexers:        0,
+		BufferPerParser: e.cfg.BufferPerParser,
+	}, items)
+	rep.Schedule = &res
+	rep.ParsersSpanSec = res.ParsersOnlyMakespan
+	rep.TotalSec = res.MakespanSec
+	rep.ThroughputMBps = pipesim.Throughput(rep.UncompressedBytes, rep.TotalSec)
+	return rep, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fastinvert/internal/reference"
+	"fastinvert/internal/store"
+)
+
+// TestPositionalBuildMatchesReference pins the positional pipeline end
+// to end: the persisted positional index (both executors, CPU+GPU mix)
+// equals the positional reference indexer including every position
+// list.
+func TestPositionalBuildMatchesReference(t *testing.T) {
+	src := testSource(4)
+	ref, err := reference.BuildPositionalFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, concurrent := range []bool{false, true} {
+		cfg := testConfig(3, 2, 2)
+		cfg.Positional = true
+		cfg.OutDir = filepath.Join(t.TempDir(), "idx")
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if concurrent {
+			_, err = eng.BuildConcurrent(src)
+		} else {
+			_, err = eng.Build(src)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := indexFromDisk(t, cfg.OutDir)
+		// Spot-check positions exist at all.
+		anyPositions := false
+		for _, l := range got {
+			if l.Positional() {
+				anyPositions = true
+				break
+			}
+		}
+		if !anyPositions {
+			t.Fatal("positional build produced no positions")
+		}
+		if ok, diff := ref.Equal(got); !ok {
+			t.Fatalf("concurrent=%v: positional postings differ at %q", concurrent, diff)
+		}
+		if _, err := store.Verify(cfg.OutDir); err != nil {
+			t.Fatalf("positional index fails verification: %v", err)
+		}
+	}
+}

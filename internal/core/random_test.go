@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/reference"
+)
+
+// TestRandomConfigsMatchReference drives the engine under randomized
+// pipeline shapes, corpus profiles and executors, always requiring the
+// persisted index to equal the serial reference indexer — the
+// workhorse property of the whole system.
+func TestRandomConfigsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(20110516)) // IPDPS 2011 conference date
+	profiles := []func(float64) corpus.Profile{
+		corpus.ClueWeb09, corpus.Wikipedia0107, corpus.LibraryOfCongress,
+	}
+	for trial := 0; trial < 6; trial++ {
+		prof := profiles[rng.Intn(len(profiles))](0.5)
+		prof.VocabSize = 2000 + rng.Intn(4000)
+		prof.DocsPerFile = 4 + rng.Intn(8)
+		prof.MeanDocTokens = 30 + rng.Intn(60)
+		prof.Seed = rng.Int63()
+		files := 2 + rng.Intn(4)
+		src := corpus.NewMemSource(corpus.NewGenerator(prof), files)
+
+		parsers := 1 + rng.Intn(4)
+		cpus := rng.Intn(3)
+		gpus := rng.Intn(3)
+		if cpus+gpus == 0 {
+			cpus = 1
+		}
+		concurrent := rng.Intn(2) == 1
+
+		ref, err := reference.BuildFromSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := testConfig(parsers, cpus, gpus)
+		cfg.BufferPerParser = 1 + rng.Intn(3)
+		cfg.Sampling.PopularCount = 20 + rng.Intn(150)
+		cfg.OutDir = filepath.Join(t.TempDir(), "idx")
+		eng, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buildErr error
+		if concurrent {
+			_, buildErr = eng.BuildConcurrent(src)
+		} else {
+			_, buildErr = eng.Build(src)
+		}
+		if buildErr != nil {
+			t.Fatalf("trial %d (%dp/%dc/%dg conc=%v): %v",
+				trial, parsers, cpus, gpus, concurrent, buildErr)
+		}
+		got := indexFromDisk(t, cfg.OutDir)
+		if ok, diff := ref.Equal(got); !ok {
+			t.Fatalf("trial %d (%dp/%dc/%dg conc=%v %s): postings differ at %q",
+				trial, parsers, cpus, gpus, concurrent, prof.Name, diff)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package corpus
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func smallProfile() Profile {
+	p := ClueWeb09(1)
+	p.VocabSize = 5000
+	p.DocsPerFile = 12
+	p.MeanDocTokens = 60
+	return p
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	g1 := NewGenerator(smallProfile())
+	g2 := NewGenerator(smallProfile())
+	for i := 0; i < 3; i++ {
+		a, ua := g1.GenerateFile(i)
+		b, ub := g2.GenerateFile(i)
+		if !bytes.Equal(a, b) || ua != ub {
+			t.Fatalf("file %d not deterministic", i)
+		}
+	}
+	a, _ := g1.GenerateFile(0)
+	b, _ := g1.GenerateFile(1)
+	if bytes.Equal(a, b) {
+		t.Error("distinct files should differ")
+	}
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	g := NewGenerator(smallProfile())
+	stored, uncompressed := g.GenerateFile(0)
+	if len(stored) >= uncompressed {
+		t.Errorf("gzip did not shrink: %d >= %d", len(stored), uncompressed)
+	}
+	plain, err := Decompress(stored, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != uncompressed {
+		t.Errorf("decompressed %d bytes, want %d", len(plain), uncompressed)
+	}
+	if !bytes.Equal(plain, g.GeneratePlain(0)) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestSplitDocsCount(t *testing.T) {
+	p := smallProfile()
+	g := NewGenerator(p)
+	docs := SplitDocs(g.GeneratePlain(0))
+	if len(docs) != p.DocsPerFile {
+		t.Fatalf("SplitDocs = %d docs, want %d", len(docs), p.DocsPerFile)
+	}
+	for i, d := range docs {
+		if len(bytes.TrimSpace(d)) == 0 {
+			t.Errorf("doc %d empty", i)
+		}
+	}
+}
+
+func TestSplitDocsOffsets(t *testing.T) {
+	raw := []byte(DocDelim + "alpha beta" + DocDelim + "  " + DocDelim + "gamma")
+	docs, offsets := SplitDocsOffsets(raw)
+	if len(docs) != 2 || len(offsets) != 2 {
+		t.Fatalf("got %d docs, %d offsets", len(docs), len(offsets))
+	}
+	for i := range docs {
+		got := raw[offsets[i] : offsets[i]+len(docs[i])]
+		if string(got) != string(docs[i]) {
+			t.Errorf("offset %d does not locate doc %d", offsets[i], i)
+		}
+	}
+	// SplitDocs and SplitDocsOffsets agree on generated content.
+	g := NewGenerator(smallProfile())
+	plain := g.GeneratePlain(0)
+	a := SplitDocs(plain)
+	b, offs := SplitDocsOffsets(plain)
+	if len(a) != len(b) {
+		t.Fatalf("doc counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("doc %d differs", i)
+		}
+		if string(plain[offs[i]:offs[i]+len(b[i])]) != string(b[i]) {
+			t.Fatalf("offset %d wrong for doc %d", offs[i], i)
+		}
+	}
+}
+
+func TestSplitDocsEdgeCases(t *testing.T) {
+	if got := SplitDocs(nil); len(got) != 0 {
+		t.Error("nil input should yield no docs")
+	}
+	raw := []byte(DocDelim + "alpha" + DocDelim + DocDelim + "beta")
+	got := SplitDocs(raw)
+	if len(got) != 2 || string(got[0]) != "alpha" || string(got[1]) != "beta" {
+		t.Errorf("SplitDocs = %q", got)
+	}
+}
+
+func TestMemSource(t *testing.T) {
+	src := NewMemSource(NewGenerator(smallProfile()), 4)
+	if src.NumFiles() != 4 {
+		t.Fatal("NumFiles")
+	}
+	stored, compressed, err := src.ReadFile(0)
+	if err != nil || !compressed || len(stored) == 0 {
+		t.Fatalf("ReadFile: %v compressed=%v len=%d", err, compressed, len(stored))
+	}
+	if _, _, err := src.ReadFile(4); err == nil {
+		t.Error("out-of-range read must fail")
+	}
+	if src.FileName(0) == src.FileName(1) {
+		t.Error("file names must be distinct")
+	}
+}
+
+func TestWriteDirAndOpenDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	g := NewGenerator(smallProfile())
+	total, err := WriteDir(g, 3, dir)
+	if err != nil || total <= 0 {
+		t.Fatalf("WriteDir: %v (%d bytes)", err, total)
+	}
+	src, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumFiles() != 3 {
+		t.Fatalf("NumFiles = %d", src.NumFiles())
+	}
+	stored, compressed, err := src.ReadFile(1)
+	if err != nil || !compressed {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	want, _ := g.GenerateFile(1)
+	if !bytes.Equal(stored, want) {
+		t.Error("disk round trip mismatch")
+	}
+	if _, err := OpenDir(t.TempDir()); err == nil {
+		t.Error("empty dir must fail")
+	}
+}
+
+func TestComputeStatsSanity(t *testing.T) {
+	src := NewMemSource(NewGenerator(smallProfile()), 3)
+	st, err := ComputeStats(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Documents != 36 {
+		t.Errorf("Documents = %d, want 36", st.Documents)
+	}
+	if st.Tokens <= 0 || st.Terms <= 0 {
+		t.Fatalf("degenerate stats: %+v", st)
+	}
+	if st.Terms >= st.Tokens {
+		t.Errorf("terms %d must be < tokens %d (Zipf reuse)", st.Terms, st.Tokens)
+	}
+	if st.CompressedSize >= st.UncompressedSize {
+		t.Errorf("compression ineffective: %d vs %d", st.CompressedSize, st.UncompressedSize)
+	}
+}
+
+func TestZipfSkewConcentratesCollections(t *testing.T) {
+	src := NewMemSource(NewGenerator(smallProfile()), 3)
+	frac, err := CollectionSkew(src, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's premise: ~100 popular collections dominate the
+	// token mass (Zipf head).
+	if frac < 0.5 {
+		t.Errorf("top-100 collections cover only %.2f of tokens", frac)
+	}
+	if frac > 1.0 {
+		t.Errorf("fraction %f out of range", frac)
+	}
+}
+
+func TestProfilesDiffer(t *testing.T) {
+	cw := ClueWeb09(1)
+	wiki := Wikipedia0107(1)
+	loc := LibraryOfCongress(1)
+	if cw.MarkupRatio == 0 {
+		t.Error("ClueWeb should carry markup")
+	}
+	if wiki.MarkupRatio != 0 {
+		t.Error("Wikipedia profile should be markup-free (tags stripped, §IV.C)")
+	}
+	if wiki.Compressed {
+		t.Error("Wikipedia profile should be uncompressed")
+	}
+	if !cw.Compressed || !loc.Compressed {
+		t.Error("web crawls should be compressed")
+	}
+	if ClueWeb09(0).MeanDocTokens != ClueWeb09(1).MeanDocTokens {
+		t.Error("scale <= 0 must behave as 1")
+	}
+}
+
+func BenchmarkGenerateFile(b *testing.B) {
+	g := NewGenerator(smallProfile())
+	b.ReportAllocs()
+	var bytesTotal int64
+	for i := 0; i < b.N; i++ {
+		_, u := g.GenerateFile(i % 8)
+		bytesTotal += int64(u)
+	}
+	b.SetBytes(bytesTotal / int64(b.N))
+}

@@ -1,0 +1,208 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DocDelim separates documents inside a container file. The bytes are
+// control characters, which the tokenizer treats as separators, so the
+// delimiter can never bleed into token content.
+const DocDelim = "\n\x1dDOC\x1e\n"
+
+// SplitDocs splits a container file's uncompressed content into
+// documents. Empty segments (e.g. a leading delimiter) are dropped.
+func SplitDocs(raw []byte) [][]byte {
+	docs, _ := SplitDocsOffsets(raw)
+	return docs
+}
+
+// SplitDocsOffsets splits like SplitDocs and additionally reports each
+// document's byte offset within the uncompressed file — the "document
+// location on disk" recorded by the parser's Step 1 doc table
+// (§III.C).
+func SplitDocsOffsets(raw []byte) (docs [][]byte, offsets []int) {
+	delim := []byte(DocDelim)
+	pos := 0
+	for pos <= len(raw) {
+		next := bytes.Index(raw[pos:], delim)
+		var seg []byte
+		segStart := pos
+		if next < 0 {
+			seg = raw[pos:]
+			pos = len(raw) + 1
+		} else {
+			seg = raw[pos : pos+next]
+			pos += next + len(delim)
+		}
+		if len(bytes.TrimSpace(seg)) > 0 {
+			docs = append(docs, seg)
+			offsets = append(offsets, segStart)
+		}
+	}
+	return docs, offsets
+}
+
+// englishPool provides real English tokens (including stop words and
+// stemmable forms) so the parser's stemming and stop-word stages see
+// realistic traffic. Order matters: Zipf rank 0 is "the".
+var englishPool = []string{
+	"the", "of", "and", "to", "a", "in", "is", "it", "you", "that",
+	"was", "for", "on", "are", "with", "as", "they", "be", "at", "one",
+	"have", "this", "from", "or", "had", "by", "word", "but", "what",
+	"some", "we", "can", "out", "other", "were", "all", "there", "when",
+	"use", "your", "how", "said", "an", "each", "she", "which", "their",
+	"time", "will", "way", "about", "many", "then", "them", "would",
+	"write", "like", "these", "her", "long", "make", "thing", "see",
+	"him", "two", "has", "look", "more", "day", "could", "go", "come",
+	"did", "number", "sound", "no", "most", "people", "my", "over",
+	"know", "water", "than", "call", "first", "who", "may", "down",
+	"side", "been", "now", "find", "any", "new", "work", "part", "take",
+	"get", "place", "made", "live", "where", "after", "back", "little",
+	"only", "round", "man", "year", "came", "show", "every", "good",
+	"give", "our", "under", "name", "very", "through", "just", "form",
+	"sentence", "great", "think", "say", "help", "low", "line", "differ",
+	"turn", "cause", "much", "mean", "before", "move", "right", "boy",
+	"old", "too", "same", "tell", "does", "set", "three", "want", "air",
+	"well", "also", "play", "small", "end", "put", "home", "read",
+	"hand", "port", "large", "spell", "add", "even", "land", "here",
+	"must", "big", "high", "such", "follow", "act", "why", "ask", "men",
+	"change", "went", "light", "kind", "off", "need", "house", "picture",
+	"try", "us", "again", "animal", "point", "mother", "world", "near",
+	"build", "self", "earth", "father", "parallelize", "parallelism",
+	"indexing", "computation", "processing", "generations", "optimized",
+	"documents", "dictionaries", "throughput", "applications",
+}
+
+var markupPool = []string{
+	"html", "head", "body", "div", "span", "href", "http", "www", "com",
+	"img", "src", "table", "tr", "td", "class", "style", "script", "meta",
+	"title", "link", "br", "ul", "li", "font", "center", "nbsp", "amp",
+}
+
+// Generator produces the synthetic collection for one profile. Files
+// are generated lazily and deterministically: file i's content depends
+// only on (profile, i).
+type Generator struct {
+	p     Profile
+	vocab []string
+}
+
+// NewGenerator builds the vocabulary for a profile.
+func NewGenerator(p Profile) *Generator {
+	g := &Generator{p: p}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g.vocab = make([]string, p.VocabSize)
+	var sb bytes.Buffer
+	for i := range g.vocab {
+		sb.Reset()
+		// Syllabic words: realistic prefix sharing and length spread
+		// (avg near the paper's 6.6-char stemmed tokens).
+		syl := 2 + rng.Intn(3)
+		for s := 0; s < syl; s++ {
+			sb.WriteByte(consonants[rng.Intn(len(consonants))])
+			sb.WriteByte(vowels[rng.Intn(len(vowels))])
+			if rng.Intn(3) == 0 {
+				sb.WriteByte(consonants[rng.Intn(len(consonants))])
+			}
+		}
+		g.vocab[i] = sb.String()
+	}
+	return g
+}
+
+const (
+	consonants = "bcdfghjklmnpqrstvwz"
+	vowels     = "aeiou"
+)
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.p }
+
+// FileName reports the container name of file i.
+func (g *Generator) FileName(i int) string {
+	ext := ".txt"
+	if g.p.Compressed {
+		ext = ".txt.gz"
+	}
+	return fmt.Sprintf("%s-%05d%s", g.p.Name, i, ext)
+}
+
+// GenerateFile produces the raw stored bytes of file i (gzip-compressed
+// when the profile says so) plus the uncompressed size.
+func (g *Generator) GenerateFile(i int) (stored []byte, uncompressed int) {
+	plain := g.generatePlain(i)
+	if !g.p.Compressed {
+		return plain, len(plain)
+	}
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	zw.Write(plain)
+	zw.Close()
+	return buf.Bytes(), len(plain)
+}
+
+// GeneratePlain produces the uncompressed content of file i.
+func (g *Generator) GeneratePlain(i int) []byte { return g.generatePlain(i) }
+
+func (g *Generator) generatePlain(fileIdx int) []byte {
+	rng := rand.New(rand.NewSource(g.p.Seed ^ int64(fileIdx)*0x1E3779B97F4A7C15))
+	zipf := rand.NewZipf(rng, g.p.ZipfS, g.p.ZipfV, uint64(g.p.VocabSize-1))
+	engZipf := rand.NewZipf(rng, 1.4, 2.0, uint64(len(englishPool)-1))
+
+	var out bytes.Buffer
+	for d := 0; d < g.p.DocsPerFile; d++ {
+		out.WriteString(DocDelim)
+		n := g.docTokens(rng)
+		line := 0
+		for t := 0; t < n; t++ {
+			g.writeToken(&out, rng, zipf, engZipf)
+			line++
+			if line >= 12 {
+				out.WriteByte('\n')
+				line = 0
+			} else {
+				out.WriteByte(' ')
+			}
+		}
+	}
+	return out.Bytes()
+}
+
+func (g *Generator) docTokens(rng *rand.Rand) int {
+	f := math.Exp(rng.NormFloat64() * g.p.DocTokensSpread)
+	n := int(float64(g.p.MeanDocTokens) * f)
+	if n < 8 {
+		n = 8
+	}
+	if maxN := 64 * g.p.MeanDocTokens; n > maxN {
+		n = maxN
+	}
+	return n
+}
+
+func (g *Generator) writeToken(out *bytes.Buffer, rng *rand.Rand, zipf, engZipf *rand.Zipf) {
+	r := rng.Float64()
+	switch {
+	case r < g.p.MarkupRatio:
+		out.WriteByte('<')
+		out.WriteString(markupPool[rng.Intn(len(markupPool))])
+		out.WriteByte('>')
+	case r < g.p.MarkupRatio+g.p.NumericRatio:
+		fmt.Fprintf(out, "%d", rng.Intn(100000))
+	case r < g.p.MarkupRatio+g.p.NumericRatio+g.p.SpecialRatio:
+		// Token with a non-ASCII byte (UTF-8 e-acute) somewhere.
+		w := g.vocab[zipf.Uint64()]
+		cut := rng.Intn(len(w) + 1)
+		out.WriteString(w[:cut])
+		out.WriteString("\xc3\xa9")
+		out.WriteString(w[cut:])
+	case r < g.p.MarkupRatio+g.p.NumericRatio+g.p.SpecialRatio+g.p.EnglishRatio:
+		out.WriteString(englishPool[engZipf.Uint64()])
+	default:
+		out.WriteString(g.vocab[zipf.Uint64()])
+	}
+}

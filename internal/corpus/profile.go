@@ -1,0 +1,132 @@
+// Package corpus generates the synthetic document collections that
+// stand in for the paper's test data (Table III): the ClueWeb09 first
+// English segment, the Wikipedia01-07 dump, and the Library of
+// Congress crawl. The real collections are terabyte-scale and not
+// redistributable; these generators reproduce the properties the
+// algorithm is sensitive to — Zipf-skewed term frequencies (which
+// drive the popular/unpopular CPU-GPU split), document length
+// distributions, markup density, numeric and special-byte token rates,
+// and gzip-compressed container files (which drive the read+decompress
+// pipeline stage) — at a configurable scale, fully deterministically.
+package corpus
+
+// Profile parameterizes one synthetic collection.
+type Profile struct {
+	Name string
+
+	// VocabSize is the synthetic vocabulary size (distinct raw words
+	// before stemming).
+	VocabSize int
+
+	// ZipfS and ZipfV shape the term frequency distribution
+	// (rand.Zipf: P(k) proportional to ((v+k)^s)^-1, s > 1).
+	ZipfS float64
+	ZipfV float64
+
+	// MeanDocTokens and DocTokensSpread shape per-document token
+	// counts: length = MeanDocTokens * exp(N(0,1)*DocTokensSpread),
+	// clamped to [8, 64*MeanDocTokens].
+	MeanDocTokens   int
+	DocTokensSpread float64
+
+	// EnglishRatio is the fraction of tokens drawn from a small real
+	// English pool (Zipf-weighted), which exercises stop-word removal
+	// and stemming exactly as web text does.
+	EnglishRatio float64
+
+	// MarkupRatio is the fraction of tokens that are HTML-ish markup
+	// (ClueWeb pages carry their tags; the Wikipedia01-07 set had
+	// them stripped, §IV.C).
+	MarkupRatio float64
+
+	// NumericRatio is the fraction of pure-number tokens.
+	NumericRatio float64
+
+	// SpecialRatio is the fraction of tokens carrying a non-ASCII
+	// byte (Table I's "special letter" terms).
+	SpecialRatio float64
+
+	// DocsPerFile controls container granularity; the paper's
+	// ClueWeb09 files hold ~38k pages each (1 GB uncompressed).
+	DocsPerFile int
+
+	// Compressed stores files gzip-compressed, as ClueWeb09 and the
+	// LoC crawl are (§IV.A's read+decompress discussion).
+	Compressed bool
+
+	// Seed makes the whole collection reproducible.
+	Seed int64
+}
+
+// ClueWeb09 returns a scaled-down profile of the ClueWeb09 first
+// English segment: web pages with markup, heavy vocabulary, gzip
+// container files. scale=1 yields roughly 4 MB uncompressed across
+// 8 files; the ratios, not the absolute size, are what experiments
+// depend on.
+func ClueWeb09(scale float64) Profile {
+	return Profile{
+		Name:            "clueweb09-like",
+		VocabSize:       120_000,
+		ZipfS:           1.22,
+		ZipfV:           2.0,
+		MeanDocTokens:   int(420 * clampScale(scale)),
+		DocTokensSpread: 0.9,
+		EnglishRatio:    0.45,
+		MarkupRatio:     0.14,
+		NumericRatio:    0.035,
+		SpecialRatio:    0.02,
+		DocsPerFile:     int(64 * clampScale(scale)),
+		Compressed:      true,
+		Seed:            0x5EED_C1EB,
+	}
+}
+
+// Wikipedia0107 returns a profile of the Wikipedia01-07 snapshots:
+// markup stripped to pure text, smaller vocabulary, uncompressed
+// (1/18 the byte volume of ClueWeb09 but a third of its documents —
+// short, text-dense articles, §IV.C).
+func Wikipedia0107(scale float64) Profile {
+	return Profile{
+		Name:            "wikipedia01-07-like",
+		VocabSize:       60_000,
+		ZipfS:           1.18,
+		ZipfV:           2.0,
+		MeanDocTokens:   int(160 * clampScale(scale)),
+		DocTokensSpread: 0.8,
+		EnglishRatio:    0.55,
+		MarkupRatio:     0,
+		NumericRatio:    0.05,
+		SpecialRatio:    0.03,
+		DocsPerFile:     int(160 * clampScale(scale)),
+		Compressed:      false,
+		Seed:            0x5EED_A1B2,
+	}
+}
+
+// LibraryOfCongress returns a profile of the Congressional crawl:
+// news/government pages, weekly re-crawled snapshots (lower vocabulary
+// growth, high duplication), compressed.
+func LibraryOfCongress(scale float64) Profile {
+	return Profile{
+		Name:            "library-of-congress-like",
+		VocabSize:       45_000,
+		ZipfS:           1.30,
+		ZipfV:           2.0,
+		MeanDocTokens:   int(330 * clampScale(scale)),
+		DocTokensSpread: 0.7,
+		EnglishRatio:    0.55,
+		MarkupRatio:     0.12,
+		NumericRatio:    0.06,
+		SpecialRatio:    0.01,
+		DocsPerFile:     int(80 * clampScale(scale)),
+		Compressed:      true,
+		Seed:            0x5EED_10C5,
+	}
+}
+
+func clampScale(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+package corpus
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Source is a readable document collection: an ordered set of container
+// files, possibly gzip-compressed, each holding DocDelim-separated
+// documents. The pipeline's Step 1 (read, decompress, split) consumes
+// exactly this interface, whether the collection is generated in
+// memory or stored on disk.
+type Source interface {
+	// NumFiles reports the number of container files.
+	NumFiles() int
+	// FileName reports file i's name (diagnostics, Fig. 11 x-axis).
+	FileName(i int) string
+	// ReadFile returns file i's stored bytes and whether they are
+	// gzip-compressed.
+	ReadFile(i int) (stored []byte, compressed bool, err error)
+}
+
+// Decompress returns the uncompressed content of a stored file.
+func Decompress(stored []byte, compressed bool) ([]byte, error) {
+	if !compressed {
+		return stored, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(stored))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: gzip open: %w", err)
+	}
+	defer zr.Close()
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: gzip read: %w", err)
+	}
+	return out, nil
+}
+
+// MemSource serves a generated collection lazily from memory.
+type MemSource struct {
+	gen      *Generator
+	numFiles int
+}
+
+// NewMemSource wraps a generator as an n-file source.
+func NewMemSource(gen *Generator, numFiles int) *MemSource {
+	return &MemSource{gen: gen, numFiles: numFiles}
+}
+
+// NumFiles implements Source.
+func (s *MemSource) NumFiles() int { return s.numFiles }
+
+// FileName implements Source.
+func (s *MemSource) FileName(i int) string { return s.gen.FileName(i) }
+
+// ReadFile implements Source.
+func (s *MemSource) ReadFile(i int) ([]byte, bool, error) {
+	if i < 0 || i >= s.numFiles {
+		return nil, false, fmt.Errorf("corpus: file %d out of range", i)
+	}
+	stored, _ := s.gen.GenerateFile(i)
+	return stored, s.gen.Profile().Compressed, nil
+}
+
+// Generator returns the underlying generator.
+func (s *MemSource) Generator() *Generator { return s.gen }
+
+// DirSource serves container files from a directory (written by
+// WriteDir or by any external producer). Files are ordered by name;
+// names ending in .gz are treated as compressed.
+type DirSource struct {
+	dir   string
+	names []string
+}
+
+// OpenDir scans a directory into a DirSource.
+func OpenDir(dir string) (*DirSource, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(e.Name(), ".txt") || strings.HasSuffix(e.Name(), ".txt.gz") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("corpus: no .txt/.txt.gz files in %s", dir)
+	}
+	sort.Strings(names)
+	return &DirSource{dir: dir, names: names}, nil
+}
+
+// NumFiles implements Source.
+func (s *DirSource) NumFiles() int { return len(s.names) }
+
+// FileName implements Source.
+func (s *DirSource) FileName(i int) string { return s.names[i] }
+
+// ReadFile implements Source.
+func (s *DirSource) ReadFile(i int) ([]byte, bool, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, s.names[i]))
+	if err != nil {
+		return nil, false, err
+	}
+	return b, strings.HasSuffix(s.names[i], ".gz"), nil
+}
+
+// WriteDir materializes numFiles of a generated collection into dir,
+// creating it if needed. It returns the total stored bytes.
+func WriteDir(gen *Generator, numFiles int, dir string) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	var total int64
+	for i := 0; i < numFiles; i++ {
+		stored, _ := gen.GenerateFile(i)
+		if err := os.WriteFile(filepath.Join(dir, gen.FileName(i)), stored, 0o644); err != nil {
+			return total, err
+		}
+		total += int64(len(stored))
+	}
+	return total, nil
+}

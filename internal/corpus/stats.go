@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"fastinvert/internal/parser"
+	"fastinvert/internal/trie"
+)
+
+// Stats describes a collection the way Table III does.
+type Stats struct {
+	Name             string
+	Files            int
+	CompressedSize   int64
+	UncompressedSize int64
+	Documents        int64
+	Terms            int64 // distinct stemmed, stop-filtered terms
+	Tokens           int64 // total surviving occurrences
+}
+
+// ComputeStats scans a source with the real parsing pipeline and
+// reports Table III statistics. Cost is one full parse of the
+// collection, which is fine at synthetic scale.
+func ComputeStats(src Source) (Stats, error) {
+	var st Stats
+	st.Files = src.NumFiles()
+	p := parser.New(nil)
+	seen := make(map[int]map[string]struct{})
+	for i := 0; i < src.NumFiles(); i++ {
+		stored, compressed, err := src.ReadFile(i)
+		if err != nil {
+			return st, err
+		}
+		st.CompressedSize += int64(len(stored))
+		plain, err := Decompress(stored, compressed)
+		if err != nil {
+			return st, err
+		}
+		st.UncompressedSize += int64(len(plain))
+		blk := parser.NewBlock(0)
+		for d, doc := range SplitDocs(plain) {
+			p.ParseDoc(uint32(d), doc, blk)
+			st.Documents++
+		}
+		st.Tokens += int64(blk.Tokens)
+		for idx, g := range blk.Groups {
+			m := seen[idx]
+			if m == nil {
+				m = make(map[string]struct{})
+				seen[idx] = m
+			}
+			err := g.ForEach(func(_ uint32, stripped []byte) error {
+				if _, ok := m[string(stripped)]; !ok {
+					m[string(stripped)] = struct{}{}
+				}
+				return nil
+			})
+			if err != nil {
+				return st, err
+			}
+		}
+	}
+	for _, m := range seen {
+		st.Terms += int64(len(m))
+	}
+	return st, nil
+}
+
+// CollectionSkew summarizes how token mass concentrates in trie
+// collections — the property behind the popular/unpopular split. It
+// reports the fraction of tokens covered by the top-k collections.
+func CollectionSkew(src Source, topK int) (fraction float64, err error) {
+	p := parser.New(nil)
+	counts := make([]int64, trie.NumCollections)
+	var total int64
+	for i := 0; i < src.NumFiles(); i++ {
+		stored, compressed, err := src.ReadFile(i)
+		if err != nil {
+			return 0, err
+		}
+		plain, err := Decompress(stored, compressed)
+		if err != nil {
+			return 0, err
+		}
+		blk := parser.NewBlock(0)
+		for d, doc := range SplitDocs(plain) {
+			p.ParseDoc(uint32(d), doc, blk)
+		}
+		for idx, g := range blk.Groups {
+			counts[idx] += int64(g.Tokens)
+			total += int64(g.Tokens)
+		}
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	// Partial selection of the topK largest counts.
+	top := make([]int64, 0, topK)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if len(top) < topK {
+			top = append(top, c)
+			continue
+		}
+		minI, minV := 0, top[0]
+		for j, v := range top {
+			if v < minV {
+				minI, minV = j, v
+			}
+		}
+		if c > minV {
+			top[minI] = c
+		}
+	}
+	var sum int64
+	for _, c := range top {
+		sum += c
+	}
+	return float64(sum) / float64(total), nil
+}

@@ -1,0 +1,33 @@
+package cpuindexer
+
+import (
+	"strings"
+	"testing"
+
+	"fastinvert/internal/parser"
+)
+
+func BenchmarkIndexRun(b *testing.B) {
+	p := parser.New(nil)
+	blk := parser.NewBlock(0)
+	text := strings.Repeat(
+		"heterogeneous platforms accelerate inverted file construction with pipelined parallel indexing ", 40)
+	for d := 0; d < 16; d++ {
+		p.ParseDoc(uint32(d), []byte(text), blk)
+	}
+	groups := make([]*parser.Group, 0, len(blk.Groups))
+	var bytes int64
+	for _, g := range blk.Groups {
+		groups = append(groups, g)
+		bytes += int64(len(g.Stream))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix := New()
+		if _, err := ix.IndexRun(groups, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

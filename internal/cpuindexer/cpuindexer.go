@@ -1,0 +1,154 @@
+// Package cpuindexer implements the paper's CPU indexer (§III.D.1):
+// one thread owning an exclusive set of popular trie collections,
+// building a cached B-tree per collection (btree package) and the
+// corresponding postings lists. The hot paths of the frequent Zipf-head
+// terms keep their root-to-leaf node paths in the processor cache,
+// which is why the popular collections are routed here (§III.E).
+package cpuindexer
+
+import (
+	"fmt"
+	"sort"
+
+	"fastinvert/internal/btree"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/postings"
+)
+
+// Stats accumulates workload counters over the indexer lifetime
+// (Table V's CPU columns).
+type Stats struct {
+	Tokens   int64
+	NewTerms int64
+	Chars    int64
+	Runs     int64
+}
+
+// RunStats reports one IndexRun.
+type RunStats struct {
+	Groups   int
+	Tokens   int64
+	NewTerms int64
+	Chars    int64
+}
+
+// Indexer is one CPU indexer thread's state. It is confined to a
+// single goroutine.
+type Indexer struct {
+	trees  map[int]*btree.Tree
+	stores map[int]*postings.Store
+	stats  Stats
+
+	// NoCache builds dictionaries without the 4-byte string caches,
+	// for the string-cache ablation.
+	NoCache bool
+}
+
+// New returns an empty CPU indexer.
+func New() *Indexer {
+	return &Indexer{
+		trees:  make(map[int]*btree.Tree),
+		stores: make(map[int]*postings.Store),
+	}
+}
+
+// IndexRun consumes one parsed block's groups: every term occurrence
+// is inserted into its collection's B-tree and appended to the
+// postings store, with document IDs rebased by docBase.
+func (ix *Indexer) IndexRun(groups []*parser.Group, docBase uint32) (RunStats, error) {
+	var rs RunStats
+	seen := make(map[int]bool, len(groups))
+	for _, g := range groups {
+		if seen[g.Index] {
+			return rs, fmt.Errorf("cpuindexer: duplicate collection %d in run", g.Index)
+		}
+		seen[g.Index] = true
+		tree := ix.trees[g.Index]
+		if tree == nil {
+			if ix.NoCache {
+				tree = btree.NewNoCache()
+			} else {
+				tree = btree.New()
+			}
+			ix.trees[g.Index] = tree
+			ix.stores[g.Index] = postings.NewStore()
+		}
+		store := ix.stores[g.Index]
+		before := tree.Terms()
+		var err error
+		if g.Positional {
+			err = g.ForEachPos(func(doc, pos uint32, stripped []byte) error {
+				slot, _ := tree.Insert(stripped)
+				return store.AddPos(slot, doc+docBase, pos)
+			})
+		} else {
+			err = g.ForEach(func(doc uint32, stripped []byte) error {
+				slot, _ := tree.Insert(stripped)
+				return store.Add(slot, doc+docBase)
+			})
+		}
+		if err != nil {
+			return rs, fmt.Errorf("cpuindexer: collection %d: %w", g.Index, err)
+		}
+		rs.Groups++
+		rs.Tokens += int64(g.Tokens)
+		rs.Chars += int64(g.Chars)
+		rs.NewTerms += int64(tree.Terms() - before)
+	}
+	ix.stats.Tokens += rs.Tokens
+	ix.stats.NewTerms += rs.NewTerms
+	ix.stats.Chars += rs.Chars
+	ix.stats.Runs++
+	return rs, nil
+}
+
+// Stats returns lifetime statistics.
+func (ix *Indexer) Stats() Stats { return ix.stats }
+
+// Collections returns the sorted trie indices this indexer has seen.
+func (ix *Indexer) Collections() []int {
+	out := make([]int, 0, len(ix.trees))
+	for idx := range ix.trees {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Store returns the postings store of a collection (nil if unseen).
+func (ix *Indexer) Store(coll int) *postings.Store { return ix.stores[coll] }
+
+// TermCount reports the number of distinct terms in a collection.
+func (ix *Indexer) TermCount(coll int) int {
+	t := ix.trees[coll]
+	if t == nil {
+		return 0
+	}
+	return t.Terms()
+}
+
+// ResetRunPostings clears per-run postings after a flush; the
+// dictionary persists across runs.
+func (ix *Indexer) ResetRunPostings() {
+	for _, s := range ix.stores {
+		s.ResetRun()
+	}
+}
+
+// WalkDictionary walks one collection's B-tree in key order.
+func (ix *Indexer) WalkDictionary(coll int, fn func(stripped []byte, slot int32) bool) {
+	t := ix.trees[coll]
+	if t == nil {
+		return
+	}
+	t.Walk(fn)
+}
+
+// DictionaryMemory reports total dictionary bytes across collections.
+func (ix *Indexer) DictionaryMemory() int {
+	total := 0
+	for _, t := range ix.trees {
+		total += t.MemoryBytes()
+	}
+	return total
+}

@@ -1,0 +1,125 @@
+package cpuindexer
+
+import (
+	"testing"
+
+	"fastinvert/internal/parser"
+	"fastinvert/internal/postings"
+	"fastinvert/internal/trie"
+)
+
+func parseBlocks(t *testing.T, texts ...string) []*parser.Block {
+	t.Helper()
+	p := parser.New(nil)
+	var blocks []*parser.Block
+	for bi, text := range texts {
+		blk := parser.NewBlock(bi)
+		p.ParseDoc(uint32(0), []byte(text), blk)
+		if err := blk.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
+func groupsOf(blk *parser.Block) []*parser.Group {
+	out := make([]*parser.Group, 0, len(blk.Groups))
+	for _, g := range blk.Groups {
+		out = append(out, g)
+	}
+	return out
+}
+
+func TestIndexRunBuildsPostings(t *testing.T) {
+	blocks := parseBlocks(t, "zebra zebra lion", "zebra tiger")
+	ix := New()
+	rs, err := ix.IndexRun(groupsOf(blocks[0]), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Tokens != 3 || rs.NewTerms != 2 {
+		t.Errorf("run1 stats = %+v", rs)
+	}
+	rs2, err := ix.IndexRun(groupsOf(blocks[1]), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.NewTerms != 1 { // zebra already known; tiger new
+		t.Errorf("run2 NewTerms = %d, want 1", rs2.NewTerms)
+	}
+
+	collZebra := trie.IndexString("zebra")
+	store := ix.Store(collZebra)
+	if store == nil {
+		t.Fatal("zebra store missing")
+	}
+	var zebraList *postings.List
+	ix.WalkDictionary(collZebra, func(stripped []byte, slot int32) bool {
+		if string(stripped) == "ra" { // "zebra" minus "zeb"
+			zebraList = store.List(slot)
+		}
+		return true
+	})
+	if zebraList == nil {
+		t.Fatal("zebra term missing from dictionary")
+	}
+	if zebraList.Len() != 2 || zebraList.DocIDs[0] != 100 || zebraList.DocIDs[1] != 200 {
+		t.Fatalf("zebra postings = %v", zebraList.DocIDs)
+	}
+	if zebraList.TFs[0] != 2 || zebraList.TFs[1] != 1 {
+		t.Fatalf("zebra tfs = %v", zebraList.TFs)
+	}
+}
+
+func TestDuplicateCollectionRejected(t *testing.T) {
+	blocks := parseBlocks(t, "zebra")
+	gs := groupsOf(blocks[0])
+	gs = append(gs, gs[0])
+	if _, err := New().IndexRun(gs, 0); err == nil {
+		t.Error("duplicate collection in run must error")
+	}
+}
+
+func TestResetRunPostingsKeepsDictionary(t *testing.T) {
+	blocks := parseBlocks(t, "zebra zebra")
+	ix := New()
+	ix.IndexRun(groupsOf(blocks[0]), 0)
+	coll := trie.IndexString("zebra")
+	if ix.TermCount(coll) != 1 {
+		t.Fatalf("TermCount = %d", ix.TermCount(coll))
+	}
+	ix.ResetRunPostings()
+	if ix.TermCount(coll) != 1 {
+		t.Error("dictionary lost on postings reset")
+	}
+	if ix.Store(coll).Postings() != 0 {
+		t.Error("postings survive reset")
+	}
+	// Re-indexing the same term in a later run reuses its slot.
+	blocks2 := parseBlocks(t, "zebra")
+	rs, err := ix.IndexRun(groupsOf(blocks2[0]), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NewTerms != 0 {
+		t.Errorf("NewTerms = %d, want 0", rs.NewTerms)
+	}
+}
+
+func TestCollectionsSortedAndMemory(t *testing.T) {
+	blocks := parseBlocks(t, "zebra apple 42 -x")
+	ix := New()
+	if _, err := ix.IndexRun(groupsOf(blocks[0]), 0); err != nil {
+		t.Fatal(err)
+	}
+	colls := ix.Collections()
+	for i := 1; i < len(colls); i++ {
+		if colls[i] <= colls[i-1] {
+			t.Error("Collections not sorted")
+		}
+	}
+	if ix.DictionaryMemory() <= 0 {
+		t.Error("DictionaryMemory must be positive")
+	}
+}

@@ -1,0 +1,116 @@
+package encoding
+
+// BitWriter accumulates bits most-significant-first into a byte slice.
+// It backs the gamma and Golomb coders, which are bit- rather than
+// byte-aligned.
+type BitWriter struct {
+	buf  []byte
+	cur  byte
+	nbit uint // bits used in cur, 0..7
+}
+
+// NewBitWriter returns a writer that appends to buf (which may be nil).
+func NewBitWriter(buf []byte) *BitWriter {
+	return &BitWriter{buf: buf}
+}
+
+// WriteBit appends a single bit (0 or 1).
+func (w *BitWriter) WriteBit(bit uint) {
+	w.cur = w.cur<<1 | byte(bit&1)
+	w.nbit++
+	if w.nbit == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most-significant-first.
+// n must be <= 64.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i) & 1))
+	}
+}
+
+// WriteUnary appends v in unary: v one-bits followed by a zero bit.
+func (w *BitWriter) WriteUnary(v uint64) {
+	for i := uint64(0); i < v; i++ {
+		w.WriteBit(1)
+	}
+	w.WriteBit(0)
+}
+
+// Bytes flushes any partial byte (padding with zero bits) and returns
+// the accumulated buffer. The writer remains usable; further writes
+// continue after the padding.
+func (w *BitWriter) Bytes() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nbit))
+		w.cur, w.nbit = 0, 0
+	}
+	return w.buf
+}
+
+// BitLen reports the total number of bits written so far, excluding
+// flush padding.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nbit) }
+
+// BitReader consumes bits most-significant-first from a byte slice.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader {
+	return &BitReader{buf: buf}
+}
+
+// ReadBit returns the next bit, or ok == false at end of input.
+func (r *BitReader) ReadBit() (bit uint, ok bool) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, false
+	}
+	shift := 7 - uint(r.pos&7)
+	r.pos++
+	return uint(r.buf[byteIdx]>>shift) & 1, true
+}
+
+// ReadBits reads n bits into the low bits of the result,
+// most-significant-first. ok is false if input ends early.
+func (r *BitReader) ReadBits(n uint) (v uint64, ok bool) {
+	for i := uint(0); i < n; i++ {
+		bit, ok := r.ReadBit()
+		if !ok {
+			return 0, false
+		}
+		v = v<<1 | uint64(bit)
+	}
+	return v, true
+}
+
+// ReadUnary reads a unary-coded value (count of one-bits before the
+// terminating zero). ok is false if input ends before the terminator.
+func (r *BitReader) ReadUnary() (v uint64, ok bool) {
+	for {
+		bit, ok := r.ReadBit()
+		if !ok {
+			return 0, false
+		}
+		if bit == 0 {
+			return v, true
+		}
+		v++
+	}
+}
+
+// BitPos reports the current bit offset from the start of the buffer.
+func (r *BitReader) BitPos() int { return r.pos }
+
+// AlignByte advances the reader to the next byte boundary.
+func (r *BitReader) AlignByte() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+	}
+}

@@ -1,0 +1,88 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterSingleBits(t *testing.T) {
+	w := NewBitWriter(nil)
+	for _, b := range []uint{1, 0, 1, 1, 0, 0, 1, 0, 1} {
+		w.WriteBit(b)
+	}
+	got := w.Bytes()
+	want := []byte{0xb2, 0x80} // 10110010 1(0000000)
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("got %x, want %x", got, want)
+	}
+}
+
+func TestBitRoundTripBits(t *testing.T) {
+	f := func(v uint64, width uint8) bool {
+		n := uint(width%64) + 1
+		v &= 1<<n - 1
+		w := NewBitWriter(nil)
+		w.WriteBits(v, n)
+		r := NewBitReader(w.Bytes())
+		back, ok := r.ReadBits(n)
+		return ok && back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewBitWriter(nil)
+	vals := []uint64{0, 1, 7, 13, 0, 2}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewBitReader(w.Bytes())
+	for i, v := range vals {
+		got, ok := r.ReadUnary()
+		if !ok || got != v {
+			t.Fatalf("value %d: got %d,%v want %d", i, got, ok, v)
+		}
+	}
+}
+
+func TestBitReaderExhaustion(t *testing.T) {
+	r := NewBitReader([]byte{0xff})
+	if _, ok := r.ReadBits(9); ok {
+		t.Error("ReadBits past end should fail")
+	}
+	r = NewBitReader([]byte{0xff})
+	if _, ok := r.ReadUnary(); ok {
+		t.Error("ReadUnary with no terminator should fail")
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	r := NewBitReader([]byte{0xff, 0x0f})
+	r.ReadBits(3)
+	r.AlignByte()
+	if r.BitPos() != 8 {
+		t.Errorf("BitPos = %d, want 8", r.BitPos())
+	}
+	r.AlignByte() // already aligned: no-op
+	if r.BitPos() != 8 {
+		t.Errorf("BitPos after second align = %d, want 8", r.BitPos())
+	}
+	v, ok := r.ReadBits(8)
+	if !ok || v != 0x0f {
+		t.Errorf("ReadBits(8) = %x,%v want 0x0f", v, ok)
+	}
+}
+
+func TestBitLen(t *testing.T) {
+	w := NewBitWriter(nil)
+	w.WriteBits(0x7, 3)
+	if w.BitLen() != 3 {
+		t.Errorf("BitLen = %d, want 3", w.BitLen())
+	}
+	w.WriteBits(0xff, 8)
+	if w.BitLen() != 11 {
+		t.Errorf("BitLen = %d, want 11", w.BitLen())
+	}
+}

@@ -1,0 +1,79 @@
+package encoding
+
+import "testing"
+
+// FuzzUvarByte checks the variable-byte decoder never panics and that
+// successfully decoded values re-encode to a decodable form.
+func FuzzUvarByte(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0x7f})
+	f.Add([]byte{0x80, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n := UvarByte(data)
+		if n <= 0 {
+			return
+		}
+		buf := PutUvarByte(nil, v)
+		back, m := UvarByte(buf)
+		if m != len(buf) || back != v {
+			t.Fatalf("re-encode of %d failed", v)
+		}
+		// Canonical encodings are minimal.
+		if len(buf) > n {
+			t.Fatalf("canonical encoding (%d bytes) longer than input (%d)", len(buf), n)
+		}
+	})
+}
+
+// FuzzDecodePostings hardens the postings decoder.
+func FuzzDecodePostings(f *testing.F) {
+	good, _ := EncodePostings(nil, []uint32{1, 5, 9}, []uint32{2, 1, 3})
+	f.Add(good, 3)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0x80}, 1)
+	f.Fuzz(func(t *testing.T, data []byte, count int) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		docIDs, tfs, _, err := DecodePostings(data, count)
+		if err != nil {
+			return
+		}
+		// Decoded postings must be re-encodable (strictly ascending)
+		// unless a zero gap slipped in, which EncodePostings rejects.
+		asc := true
+		for i := 1; i < len(docIDs); i++ {
+			if docIDs[i] <= docIDs[i-1] {
+				asc = false
+				break
+			}
+		}
+		if asc {
+			if _, err := EncodePostings(nil, docIDs, tfs); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzBitGammaGolomb checks the bit-level decoders against arbitrary
+// streams.
+func FuzzBitGammaGolomb(f *testing.F) {
+	f.Add([]byte{0xAA, 0x55}, uint8(3))
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, bRaw uint8) {
+		r := NewBitReader(data)
+		for {
+			if _, ok := Gamma(r); !ok {
+				break
+			}
+		}
+		b := uint64(bRaw)%64 + 1
+		r = NewBitReader(data)
+		for {
+			if _, ok := Golomb(r, b); !ok {
+				break
+			}
+		}
+	})
+}

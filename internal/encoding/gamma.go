@@ -1,0 +1,59 @@
+package encoding
+
+import "math/bits"
+
+// Elias gamma coding of strictly positive integers: the value's bit
+// length in unary, then the value without its leading one bit.
+
+// PutGamma appends the gamma code of v (which must be >= 1) to w.
+func PutGamma(w *BitWriter, v uint64) {
+	if v == 0 {
+		panic("encoding: gamma code undefined for 0")
+	}
+	n := uint(bits.Len64(v)) // >= 1
+	w.WriteUnary(uint64(n - 1))
+	w.WriteBits(v, n-1) // drop the implicit leading 1
+}
+
+// Gamma decodes one gamma-coded value from r.
+func Gamma(r *BitReader) (v uint64, ok bool) {
+	n, ok := r.ReadUnary()
+	if !ok || n > 63 {
+		return 0, false
+	}
+	rest, ok := r.ReadBits(uint(n))
+	if !ok {
+		return 0, false
+	}
+	return 1<<n | rest, true
+}
+
+// GammaLen reports the bit length of the gamma code of v >= 1.
+func GammaLen(v uint64) int {
+	n := bits.Len64(v)
+	return 2*n - 1
+}
+
+// EncodeGammaAll gamma-codes each value+1 of vs (so zero is
+// representable) and returns the packed bytes.
+func EncodeGammaAll(vs []uint64) []byte {
+	w := NewBitWriter(nil)
+	for _, v := range vs {
+		PutGamma(w, v+1)
+	}
+	return w.Bytes()
+}
+
+// DecodeGammaAll decodes count values produced by EncodeGammaAll.
+func DecodeGammaAll(buf []byte, count int) ([]uint64, bool) {
+	r := NewBitReader(buf)
+	vs := make([]uint64, count)
+	for i := range vs {
+		v, ok := Gamma(r)
+		if !ok || v == 0 {
+			return nil, false
+		}
+		vs[i] = v - 1
+	}
+	return vs, true
+}

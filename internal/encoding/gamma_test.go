@@ -1,0 +1,89 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaKnownCodes(t *testing.T) {
+	// gamma(1) = "0", gamma(2) = "100", gamma(3) = "101",
+	// gamma(4) = "11000", gamma(9) = "1110001".
+	cases := []struct {
+		v       uint64
+		bits    string
+		bitsLen int
+	}{
+		{1, "0", 1},
+		{2, "100", 3},
+		{3, "101", 3},
+		{4, "11000", 5},
+		{9, "1110001", 7},
+	}
+	for _, c := range cases {
+		w := NewBitWriter(nil)
+		PutGamma(w, c.v)
+		if w.BitLen() != c.bitsLen || GammaLen(c.v) != c.bitsLen {
+			t.Errorf("gamma(%d) length = %d (GammaLen %d), want %d", c.v, w.BitLen(), GammaLen(c.v), c.bitsLen)
+		}
+		r := NewBitReader(w.Bytes())
+		got := ""
+		for i := 0; i < c.bitsLen; i++ {
+			b, _ := r.ReadBit()
+			got += string(rune('0' + b))
+		}
+		if got != c.bits {
+			t.Errorf("gamma(%d) = %s, want %s", c.v, got, c.bits)
+		}
+	}
+}
+
+func TestGammaRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		w := NewBitWriter(nil)
+		PutGamma(w, v)
+		r := NewBitReader(w.Bytes())
+		back, ok := Gamma(r)
+		return ok && back == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PutGamma(0) should panic")
+		}
+	}()
+	PutGamma(NewBitWriter(nil), 0)
+}
+
+func TestGammaAllRoundTrip(t *testing.T) {
+	f := func(vs []uint64) bool {
+		buf := EncodeGammaAll(vs)
+		back, ok := DecodeGammaAll(buf, len(vs))
+		if !ok {
+			return false
+		}
+		for i := range vs {
+			if back[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaTruncated(t *testing.T) {
+	buf := EncodeGammaAll([]uint64{1 << 30})
+	if _, ok := DecodeGammaAll(buf[:1], 1); ok {
+		t.Error("decoding truncated gamma stream should fail")
+	}
+}

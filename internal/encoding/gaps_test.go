@@ -1,0 +1,140 @@
+package encoding
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestGapsRoundTrip(t *testing.T) {
+	ids := []uint64{3, 7, 8, 20, 100}
+	gaps, err := Gaps(append([]uint64(nil), ids...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{3, 4, 1, 12, 80}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap %d = %d, want %d", i, gaps[i], want[i])
+		}
+	}
+	back := Ungaps(gaps)
+	for i := range ids {
+		if back[i] != ids[i] {
+			t.Errorf("ungap %d = %d, want %d", i, back[i], ids[i])
+		}
+	}
+}
+
+func TestGapsRejectsUnsorted(t *testing.T) {
+	if _, err := Gaps([]uint64{5, 5}); err != ErrNotSorted {
+		t.Errorf("duplicate ids: err = %v, want ErrNotSorted", err)
+	}
+	if _, err := Gaps([]uint64{5, 3}); err != ErrNotSorted {
+		t.Errorf("descending ids: err = %v, want ErrNotSorted", err)
+	}
+}
+
+func TestGapsEmptyAndSingle(t *testing.T) {
+	if g, err := Gaps(nil); err != nil || len(g) != 0 {
+		t.Errorf("Gaps(nil) = %v, %v", g, err)
+	}
+	g, err := Gaps([]uint64{42})
+	if err != nil || g[0] != 42 {
+		t.Errorf("Gaps([42]) = %v, %v", g, err)
+	}
+}
+
+func TestGapsQuickSortedSets(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		set := map[uint64]bool{}
+		for len(set) < int(n%50)+1 {
+			set[uint64(rng.Intn(100000))] = true
+		}
+		ids := make([]uint64, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		orig := append([]uint64(nil), ids...)
+		gaps, err := Gaps(ids)
+		if err != nil {
+			return false
+		}
+		back := Ungaps(gaps)
+		for i := range orig {
+			if back[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodePostings(t *testing.T) {
+	docIDs := []uint32{1, 4, 9, 1000, 1001}
+	tfs := []uint32{3, 1, 7, 2, 90}
+	buf, err := EncodePostings(nil, docIDs, tfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs, gotTFs, n, err := DecodePostings(buf, len(docIDs))
+	if err != nil || n != len(buf) {
+		t.Fatalf("decode: n=%d err=%v, want n=%d", n, err, len(buf))
+	}
+	for i := range docIDs {
+		if gotIDs[i] != docIDs[i] || gotTFs[i] != tfs[i] {
+			t.Errorf("posting %d: got (%d,%d), want (%d,%d)",
+				i, gotIDs[i], gotTFs[i], docIDs[i], tfs[i])
+		}
+	}
+}
+
+func TestEncodePostingsErrors(t *testing.T) {
+	if _, err := EncodePostings(nil, []uint32{1, 2}, []uint32{1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := EncodePostings(nil, []uint32{2, 2}, []uint32{1, 1}); err != ErrNotSorted {
+		t.Errorf("unsorted docIDs: err = %v, want ErrNotSorted", err)
+	}
+	if _, _, _, err := DecodePostings([]byte{0x80}, 1); err == nil {
+		t.Error("truncated postings should error")
+	}
+}
+
+func TestEncodePostingsQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%100) + 1
+		docIDs := make([]uint32, count)
+		tfs := make([]uint32, count)
+		cur := uint32(0)
+		for i := range docIDs {
+			cur += uint32(rng.Intn(1000)) + 1
+			docIDs[i] = cur
+			tfs[i] = uint32(rng.Intn(500))
+		}
+		buf, err := EncodePostings(nil, docIDs, tfs)
+		if err != nil {
+			return false
+		}
+		gotIDs, gotTFs, consumed, err := DecodePostings(buf, count)
+		if err != nil || consumed != len(buf) {
+			return false
+		}
+		for i := range docIDs {
+			if gotIDs[i] != docIDs[i] || gotTFs[i] != tfs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

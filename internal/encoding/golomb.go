@@ -1,0 +1,90 @@
+package encoding
+
+import "math/bits"
+
+// Golomb coding with parameter b: v is split into quotient q = v / b
+// (unary) and remainder r = v mod b (truncated binary). When b is a
+// power of two this is Rice coding and the remainder is a fixed-width
+// field.
+
+// PutGolomb appends the Golomb code of v with parameter b >= 1.
+func PutGolomb(w *BitWriter, v, b uint64) {
+	if b == 0 {
+		panic("encoding: golomb parameter must be >= 1")
+	}
+	q := v / b
+	r := v % b
+	w.WriteUnary(q)
+	if b == 1 {
+		return
+	}
+	k := uint(bits.Len64(b - 1)) // ceil(log2 b)
+	cutoff := uint64(1)<<k - b   // number of short (k-1 bit) codes
+	if r < cutoff {
+		w.WriteBits(r, k-1)
+	} else {
+		w.WriteBits(r+cutoff, k)
+	}
+}
+
+// Golomb decodes one Golomb-coded value with parameter b from r.
+func Golomb(r *BitReader, b uint64) (v uint64, ok bool) {
+	q, ok := r.ReadUnary()
+	if !ok {
+		return 0, false
+	}
+	if b == 1 {
+		return q, true
+	}
+	k := uint(bits.Len64(b - 1))
+	cutoff := uint64(1)<<k - b
+	rem, ok := r.ReadBits(k - 1)
+	if !ok {
+		return 0, false
+	}
+	if rem >= cutoff {
+		bit, ok := r.ReadBit()
+		if !ok {
+			return 0, false
+		}
+		rem = rem<<1 | uint64(bit) - cutoff
+	}
+	return q*b + rem, true
+}
+
+// GolombParam returns the textbook-optimal Golomb parameter for gaps
+// drawn from a geometric distribution where p = termPostings/totalDocs:
+// b = ceil(ln 2 / p) approximated as 0.69 * mean gap, clamped to >= 1.
+func GolombParam(totalDocs, termPostings uint64) uint64 {
+	if termPostings == 0 || totalDocs == 0 {
+		return 1
+	}
+	b := (totalDocs*69 + termPostings*50) / (termPostings * 100) // ~0.69 * mean, rounded
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// EncodeGolombAll Golomb-codes each value of vs with parameter b.
+func EncodeGolombAll(vs []uint64, b uint64) []byte {
+	w := NewBitWriter(nil)
+	for _, v := range vs {
+		PutGolomb(w, v, b)
+	}
+	return w.Bytes()
+}
+
+// DecodeGolombAll decodes count values produced by EncodeGolombAll.
+func DecodeGolombAll(buf []byte, count int, b uint64) ([]uint64, bool) {
+	r := NewBitReader(buf)
+	vs := make([]uint64, count)
+	for i := range vs {
+		v, ok := Golomb(r, b)
+		if !ok {
+			return nil, false
+		}
+		vs[i] = v
+	}
+	return vs, true
+}

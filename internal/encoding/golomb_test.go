@@ -1,0 +1,83 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGolombRoundTripVariousB(t *testing.T) {
+	for _, b := range []uint64{1, 2, 3, 5, 7, 8, 10, 16, 100, 1 << 20} {
+		for _, v := range []uint64{0, 1, 2, 3, 4, 5, 9, 10, 63, 64, 100, 12345} {
+			w := NewBitWriter(nil)
+			PutGolomb(w, v, b)
+			r := NewBitReader(w.Bytes())
+			got, ok := Golomb(r, b)
+			if !ok || got != v {
+				t.Errorf("golomb b=%d v=%d: got %d,%v", b, v, got, ok)
+			}
+		}
+	}
+}
+
+func TestGolombRoundTripQuick(t *testing.T) {
+	f := func(v uint64, bRaw uint16) bool {
+		v %= 1 << 30 // keep unary part bounded
+		b := uint64(bRaw)%1024 + 1
+		w := NewBitWriter(nil)
+		PutGolomb(w, v, b)
+		r := NewBitReader(w.Bytes())
+		got, ok := Golomb(r, b)
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGolombSequenceRoundTrip(t *testing.T) {
+	vs := []uint64{4, 0, 7, 7, 1023, 2, 0, 0, 55}
+	for _, b := range []uint64{1, 3, 6, 8} {
+		buf := EncodeGolombAll(vs, b)
+		back, ok := DecodeGolombAll(buf, len(vs), b)
+		if !ok {
+			t.Fatalf("b=%d: decode failed", b)
+		}
+		for i := range vs {
+			if back[i] != vs[i] {
+				t.Errorf("b=%d idx=%d: got %d want %d", b, i, back[i], vs[i])
+			}
+		}
+	}
+}
+
+func TestGolombZeroBPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PutGolomb with b=0 should panic")
+		}
+	}()
+	PutGolomb(NewBitWriter(nil), 1, 0)
+}
+
+func TestGolombParam(t *testing.T) {
+	if got := GolombParam(0, 0); got != 1 {
+		t.Errorf("GolombParam(0,0) = %d, want 1", got)
+	}
+	if got := GolombParam(100, 100); got != 1 {
+		t.Errorf("dense list: got %d, want 1", got)
+	}
+	// Sparse list: mean gap 1000 -> parameter near 690.
+	got := GolombParam(1_000_000, 1000)
+	if got < 600 || got > 800 {
+		t.Errorf("GolombParam(1e6,1e3) = %d, want ~690", got)
+	}
+}
+
+func TestRiceSpecialCase(t *testing.T) {
+	// b = 8 (power of two) must use exactly 3 remainder bits.
+	w := NewBitWriter(nil)
+	PutGolomb(w, 5, 8) // q=0 -> "0", remainder 5 -> "101"
+	if w.BitLen() != 4 {
+		t.Errorf("rice(5,8) bit length = %d, want 4", w.BitLen())
+	}
+}

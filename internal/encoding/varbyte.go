@@ -1,0 +1,76 @@
+// Package encoding implements the postings-list compression codecs used
+// by the indexer: variable-byte coding, Elias gamma coding, Golomb/Rice
+// coding, and document-ID gap transforms.
+//
+// All of the paper's output postings lists are gap-transformed and then
+// variable-byte encoded (§II, final paragraph); gamma and Golomb are
+// provided as the alternatives the paper cites so they can be compared
+// in the ablation benches.
+package encoding
+
+// PutUvarByte appends the variable-byte encoding of v to dst and
+// returns the extended slice. The encoding stores 7 payload bits per
+// byte, least-significant group first; the high bit is set on every
+// byte except the last, mirroring the classical IR "vbyte" scheme.
+func PutUvarByte(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// UvarByte decodes a variable-byte value from src, returning the value
+// and the number of bytes consumed. It returns n == 0 when src is
+// truncated and n < 0 when the encoding overflows 64 bits.
+func UvarByte(src []byte) (v uint64, n int) {
+	var shift uint
+	for i, b := range src {
+		if shift >= 64 {
+			return 0, -(i + 1)
+		}
+		if b < 0x80 {
+			if shift == 63 && b > 1 {
+				return 0, -(i + 1)
+			}
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}
+
+// VarByteLen reports the encoded size of v in bytes without encoding it.
+func VarByteLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// AppendUvarByteAll encodes every value of vs in order.
+func AppendUvarByteAll(dst []byte, vs []uint64) []byte {
+	for _, v := range vs {
+		dst = PutUvarByte(dst, v)
+	}
+	return dst
+}
+
+// UvarByteAll decodes exactly count values from src. It returns the
+// decoded values and the number of bytes consumed, or n == 0 if src
+// does not contain count well-formed values.
+func UvarByteAll(src []byte, count int) (vs []uint64, n int) {
+	vs = make([]uint64, 0, count)
+	for len(vs) < count {
+		v, m := UvarByte(src[n:])
+		if m <= 0 {
+			return nil, 0
+		}
+		vs = append(vs, v)
+		n += m
+	}
+	return vs, n
+}

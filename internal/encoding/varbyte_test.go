@@ -1,0 +1,93 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUvarByteKnownValues(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{1, []byte{0x01}},
+		{127, []byte{0x7f}},
+		{128, []byte{0x80, 0x01}},
+		{300, []byte{0xac, 0x02}},
+		{16383, []byte{0xff, 0x7f}},
+		{16384, []byte{0x80, 0x80, 0x01}},
+		{math.MaxUint64, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}},
+	}
+	for _, c := range cases {
+		got := PutUvarByte(nil, c.v)
+		if string(got) != string(c.want) {
+			t.Errorf("PutUvarByte(%d) = %x, want %x", c.v, got, c.want)
+		}
+		back, n := UvarByte(got)
+		if back != c.v || n != len(got) {
+			t.Errorf("UvarByte(%x) = %d,%d want %d,%d", got, back, n, c.v, len(got))
+		}
+		if l := VarByteLen(c.v); l != len(got) {
+			t.Errorf("VarByteLen(%d) = %d, want %d", c.v, l, len(got))
+		}
+	}
+}
+
+func TestUvarByteRoundTripQuick(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := PutUvarByte(nil, v)
+		back, n := UvarByte(buf)
+		return back == v && n == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarByteTruncated(t *testing.T) {
+	if _, n := UvarByte(nil); n != 0 {
+		t.Errorf("UvarByte(nil) n = %d, want 0", n)
+	}
+	if _, n := UvarByte([]byte{0x80}); n != 0 {
+		t.Errorf("UvarByte(incomplete) n = %d, want 0", n)
+	}
+	if _, n := UvarByte([]byte{0x80, 0x80}); n != 0 {
+		t.Errorf("UvarByte(incomplete 2) n = %d, want 0", n)
+	}
+}
+
+func TestUvarByteOverflow(t *testing.T) {
+	// Eleven continuation bytes overflow a 64-bit value.
+	over := make([]byte, 11)
+	for i := range over {
+		over[i] = 0x80
+	}
+	over = append(over, 0x01)
+	if _, n := UvarByte(over); n >= 0 {
+		t.Errorf("UvarByte(overflow) n = %d, want negative", n)
+	}
+	// Ten bytes where the last exceeds the single remaining payload bit.
+	bad := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02}
+	if _, n := UvarByte(bad); n >= 0 {
+		t.Errorf("UvarByte(top-byte overflow) n = %d, want negative", n)
+	}
+}
+
+func TestUvarByteAll(t *testing.T) {
+	vs := []uint64{0, 5, 1 << 20, 77, math.MaxUint32}
+	buf := AppendUvarByteAll(nil, vs)
+	got, n := UvarByteAll(buf, len(vs))
+	if n != len(buf) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(buf))
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Errorf("value %d: got %d, want %d", i, got[i], vs[i])
+		}
+	}
+	if _, n := UvarByteAll(buf[:len(buf)-1], len(vs)); n != 0 {
+		t.Error("UvarByteAll on truncated input should fail")
+	}
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fastinvert/internal/baselines"
+	"fastinvert/internal/core"
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/pipesim"
+)
+
+// Fig10Point is one (parser count, scenario) sample of Fig. 10.
+type Fig10Point struct {
+	Parsers int
+	// Throughputs in MB/s over uncompressed bytes for the three
+	// scenarios: (a) M parsers + (8-M) CPU indexers, (b) the same
+	// plus 2 GPU indexers, (c) parsers only.
+	CPUOnly   float64
+	WithGPUs  float64
+	ParseOnly float64
+}
+
+// Fig10 sweeps the parser count from 1 to 7 under the paper's three
+// scenarios.
+func Fig10(s Scale) ([]Fig10Point, error) {
+	src := ClueWebSource(s)
+	var out []Fig10Point
+	for m := 1; m <= 7; m++ {
+		pt := Fig10Point{Parsers: m}
+		rep, err := buildWith(src, m, 8-m, 0)
+		if err != nil {
+			return nil, err
+		}
+		pt.CPUOnly = rep.ThroughputMBps
+		rep, err = buildWith(src, m, 8-m, 2)
+		if err != nil {
+			return nil, err
+		}
+		pt.WithGPUs = rep.ThroughputMBps
+		eng, err := core.New(EngineConfig(m, 1, 0))
+		if err != nil {
+			return nil, err
+		}
+		po, err := eng.ParseOnly(src)
+		if err != nil {
+			return nil, err
+		}
+		pt.ParseOnly = po.ThroughputMBps
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FprintFig10 renders the Fig. 10 series.
+func FprintFig10(w io.Writer, pts []Fig10Point) {
+	fmt.Fprintln(w, "FIGURE 10. THROUGHPUT vs NUMBER OF PARALLEL PARSERS (MB/s, modeled)")
+	fmt.Fprintf(w, "%8s %18s %18s %14s\n", "Parsers", "M + (8-M) CPU idx", "M + (8-M) + 2GPU", "Parsers only")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%8d %18.2f %18.2f %14.2f\n", p.Parsers, p.CPUOnly, p.WithGPUs, p.ParseOnly)
+	}
+}
+
+// Fig11Series is the per-file indexing throughput of one scenario.
+type Fig11Series struct {
+	Name       string
+	Throughput []float64 // MB/s per file index
+}
+
+// Fig11 tracks per-file indexing throughput under scenarios (ii) one
+// CPU indexer, (iii) two CPU indexers, (iv) two CPU + two GPU. The
+// collection is ClueWeb-like with a Wikipedia-like tail appended,
+// reproducing the paper's distribution shift at the last file indices.
+func Fig11(s Scale) ([]Fig11Series, int, error) {
+	cwFiles := s.Files
+	wikiFiles := s.Files / 4
+	if wikiFiles < 1 {
+		wikiFiles = 1
+	}
+	src := ConcatSources(
+		ClueWebSource(Scale{Files: cwFiles, Factor: s.Factor}),
+		WikipediaSource(Scale{Files: wikiFiles, Factor: s.Factor}),
+	)
+	configs := []struct {
+		name     string
+		cpu, gpu int
+	}{
+		{"(ii) 1 CPU indexer", 1, 0},
+		{"(iii) 2 CPU indexers", 2, 0},
+		{"(iv) 2 CPU + 2 GPU", 2, 2},
+	}
+	var out []Fig11Series
+	for _, c := range configs {
+		rep, err := buildWith(src, 6, c.cpu, c.gpu)
+		if err != nil {
+			return nil, 0, err
+		}
+		ser := Fig11Series{Name: c.name}
+		for _, f := range rep.PerFile {
+			ser.Throughput = append(ser.Throughput, f.ThroughputMBps)
+		}
+		out = append(out, ser)
+	}
+	return out, cwFiles, nil
+}
+
+// FprintFig11 renders the per-file series; shiftAt marks the first
+// Wikipedia-like file.
+func FprintFig11(w io.Writer, series []Fig11Series, shiftAt int) {
+	fmt.Fprintln(w, "FIGURE 11. PER-FILE INDEXING THROUGHPUT (MB/s, modeled)")
+	fmt.Fprintf(w, "%6s", "file")
+	for _, s := range series {
+		fmt.Fprintf(w, " %22s", s.Name)
+	}
+	fmt.Fprintln(w)
+	if len(series) == 0 {
+		return
+	}
+	for i := range series[0].Throughput {
+		marker := " "
+		if i == shiftAt {
+			marker = "*" // distribution shift (paper's Wikipedia tail)
+		}
+		fmt.Fprintf(w, "%5d%s", i, marker)
+		for _, s := range series {
+			fmt.Fprintf(w, " %22.2f", s.Throughput[i])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fig12Row is one system's throughput in the cross-system comparison.
+type Fig12Row struct {
+	Name           string
+	Platform       string
+	Cores          int
+	ThroughputMBps float64
+	PerCoreMBps    float64
+}
+
+// Fig12 compares this system (with and without GPUs) against the
+// Ivory MapReduce and Single-Pass MapReduce baselines. The baselines'
+// measured map/reduce durations are scheduled onto their papers'
+// clusters (Table VII): Ivory on 99 nodes x 2 cores, SP-MR on 8 nodes
+// x 3 usable cores, both with ~1 Gb Ethernet per node of aggregate
+// shuffle bandwidth.
+func Fig12(s Scale) ([]Fig12Row, error) {
+	src := ClueWebSource(s)
+	var rows []Fig12Row
+
+	st, err := corpus.ComputeStats(src)
+	if err != nil {
+		return nil, err
+	}
+	bytes := st.UncompressedSize
+
+	add := func(name, platform string, cores int, sec float64) {
+		t := pipesim.Throughput(bytes, sec)
+		rows = append(rows, Fig12Row{name, platform, cores, t, t / float64(cores)})
+	}
+
+	rep, err := buildWith(src, 6, 2, 2)
+	if err != nil {
+		return nil, err
+	}
+	add("This system (2 CPU + 2 GPU)", "1 node, 8 cores + 2 GPUs", 8, rep.TotalSec)
+
+	rep, err = buildWith(src, 6, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	add("This system (no GPUs)", "1 node, 8 cores", 8, rep.TotalSec)
+
+	ivory, err := baselines.IvoryMR(src, 8)
+	if err != nil {
+		return nil, err
+	}
+	add("Ivory MapReduce", "99 nodes, 198 cores", 198,
+		ivory.Stats.ModelMakespan(baselines.ClusterModel{
+			MapWorkers: 198, ReduceWorkers: 198,
+			ShuffleBytesPerSec: 99 * 60e6,
+			TaskOverheadSec:    1.0,
+		}))
+
+	sp, err := baselines.SinglePassMR(src, 8)
+	if err != nil {
+		return nil, err
+	}
+	add("Single-Pass MapReduce", "8 nodes, 24 cores", 24,
+		sp.Stats.ModelMakespan(baselines.ClusterModel{
+			MapWorkers: 24, ReduceWorkers: 24,
+			ShuffleBytesPerSec: 8 * 60e6,
+			TaskOverheadSec:    1.0,
+		}))
+	return rows, nil
+}
+
+// FprintFig12 renders the comparison. The cluster model covers only
+// compute and shuffle (no HDFS I/O, job startup, or stragglers), so at
+// synthetic scale the absolute cluster numbers flatter the baselines;
+// the per-core column is the scale-robust comparison and carries the
+// paper's conclusion.
+func FprintFig12(w io.Writer, rows []Fig12Row) {
+	fmt.Fprintln(w, "FIGURE 12. COMPARISON TO MAPREDUCE IMPLEMENTATIONS (modeled)")
+	fmt.Fprintf(w, "%-30s %-28s %10s %14s\n", "System", "Platform", "MB/s", "MB/s per core")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-30s %-28s %10.2f %14.3f\n", r.Name, r.Platform, r.ThroughputMBps, r.PerCoreMBps)
+	}
+}

@@ -1,0 +1,301 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Ptr is a device-memory address (byte offset).
+type Ptr int64
+
+// Nil is the null device pointer.
+const Nil Ptr = -1
+
+// Device is one simulated GPU: a fixed-size device memory, bump
+// allocators, and transfer/launch entry points.
+//
+// Device memory is allocated in full at creation and never moves, so
+// kernels may call Malloc/MallocTransient concurrently with other
+// blocks' memory traffic — exactly like device-side allocation on real
+// hardware. Persistent allocations (Malloc) grow from the bottom;
+// per-run transient buffers (MallocTransient) grow from the top and
+// are released wholesale by FreeTransients, mirroring the paper's
+// per-run cudaMalloc/cudaFree of input and output regions while the
+// dictionary stays resident.
+type Device struct {
+	cfg Config
+
+	mem []byte
+	mu  sync.Mutex
+	brk int64 // bottom break (persistent)
+	top int64 // top break (transient); allocations live in [top, len)
+
+	stats DeviceStats
+}
+
+// DeviceStats aggregates simulated activity over the device lifetime.
+type DeviceStats struct {
+	KernelsLaunched int64
+	BlocksExecuted  int64
+	Instructions    int64
+	GlobalTxns      int64 // coalesced device-memory transactions
+	GlobalBytes     int64
+	SharedAccesses  int64
+	BankConflicts   int64 // excess cycles lost to conflicts
+	DivergentLanes  int64
+	HtoDBytes       int64
+	DtoHBytes       int64
+	SimSeconds      float64 // simulated kernel + transfer time
+}
+
+// NewDevice creates a device with the given configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{cfg: cfg}
+	d.mem = make([]byte, cfg.DeviceMemBytes)
+	d.top = int64(len(d.mem))
+	return d, nil
+}
+
+// MustDevice is NewDevice for tests and examples with a known-good config.
+func MustDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Malloc allocates n bytes of persistent device memory (zeroed). It is
+// safe to call from kernels; it panics when device memory is exhausted,
+// the analogue of a cudaMalloc failure.
+func (d *Device) Malloc(n int) Ptr {
+	if n < 0 {
+		panic("gpu: negative allocation")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.brk+int64(n) > d.top {
+		panic(fmt.Sprintf("gpu: out of device memory (%d persistent + %d requested, %d transient, %d total)",
+			d.brk, n, int64(len(d.mem))-d.top, len(d.mem)))
+	}
+	p := d.brk
+	d.brk += int64(n)
+	return Ptr(p)
+}
+
+// MallocTransient allocates n bytes from the transient (per-run)
+// region at the top of device memory.
+func (d *Device) MallocTransient(n int) Ptr {
+	if n < 0 {
+		panic("gpu: negative allocation")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.top-int64(n) < d.brk {
+		panic(fmt.Sprintf("gpu: out of device memory for %d-byte transient", n))
+	}
+	d.top -= int64(n)
+	for i := d.top; i < d.top+int64(n); i++ {
+		d.mem[i] = 0
+	}
+	return Ptr(d.top)
+}
+
+// FreeTransients releases every transient allocation (end of run).
+func (d *Device) FreeTransients() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.top = int64(len(d.mem))
+}
+
+// Reset releases all allocations, persistent and transient.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := int64(0); i < d.brk; i++ {
+		d.mem[i] = 0
+	}
+	d.brk = 0
+	d.top = int64(len(d.mem))
+}
+
+// Allocated reports the persistent allocation break.
+func (d *Device) Allocated() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.brk
+}
+
+// TransientBytes reports the size of the live transient region.
+func (d *Device) TransientBytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.mem)) - d.top
+}
+
+// CopyHtoD copies host bytes into device memory and accounts the PCIe
+// transfer time. It returns the simulated seconds the copy took.
+func (d *Device) CopyHtoD(dst Ptr, src []byte) float64 {
+	d.checkRange(dst, len(src))
+	copy(d.mem[dst:int(dst)+len(src)], src)
+	sec := d.cfg.PCIeLatencySec + float64(len(src))/d.cfg.PCIeBytesPerSec
+	d.mu.Lock()
+	d.stats.HtoDBytes += int64(len(src))
+	d.stats.SimSeconds += sec
+	d.mu.Unlock()
+	return sec
+}
+
+// CopyDtoH copies device bytes back to the host, returning simulated
+// seconds.
+func (d *Device) CopyDtoH(dst []byte, src Ptr) float64 {
+	d.checkRange(src, len(dst))
+	copy(dst, d.mem[src:int(src)+len(dst)])
+	sec := d.cfg.PCIeLatencySec + float64(len(dst))/d.cfg.PCIeBytesPerSec
+	d.mu.Lock()
+	d.stats.DtoHBytes += int64(len(dst))
+	d.stats.SimSeconds += sec
+	d.mu.Unlock()
+	return sec
+}
+
+// Stats returns a snapshot of accumulated device statistics.
+func (d *Device) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// checkRange validates [p, p+n) against device memory bounds. Bounds
+// are the full memory: allocation discipline is the allocator's job,
+// while this guards against wild pointers.
+func (d *Device) checkRange(p Ptr, n int) {
+	if p < 0 || n < 0 || int64(p)+int64(n) > int64(len(d.mem)) {
+		panic(fmt.Sprintf("gpu: access [%d,%d) outside %d-byte device memory", p, int64(p)+int64(n), len(d.mem)))
+	}
+}
+
+// LaunchStats summarizes one kernel launch.
+type LaunchStats struct {
+	Blocks       int
+	Instructions int64
+	GlobalTxns   int64
+	GlobalBytes  int64
+	SharedAcc    int64
+	Conflicts    int64
+	Divergent    int64   // lanes that took a divergent warp path
+	MaxSMCycles  int64   // critical-path cycles across SMs
+	TotalCycles  int64   // sum over blocks (work metric)
+	SimSeconds   float64 // MaxSMCycles / clock
+}
+
+// Launch executes a grid of nBlocks thread blocks running kernel.
+// Blocks are scheduled dynamically onto the configured number of SMs
+// (the paper's round-robin "next available trie collection" strategy):
+// each SM is a goroutine pulling the next unstarted block index. The
+// call blocks until the grid completes, like a synchronous CUDA launch,
+// and returns the launch statistics. A panic inside a kernel is
+// re-raised on the calling goroutine.
+func (d *Device) Launch(nBlocks int, kernel func(b *Block)) LaunchStats {
+	if nBlocks <= 0 {
+		return LaunchStats{}
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	var panicked atomic.Value // first kernel panic, re-raised on the host
+	sms := d.cfg.SMs
+	if sms > nBlocks {
+		sms = nBlocks
+	}
+	smCycles := make([]int64, sms)
+	blockStats := make([]blockCounters, sms)
+	for sm := 0; sm < sms; sm++ {
+		wg.Add(1)
+		go func(sm int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, r)
+				}
+			}()
+			shared := make([]byte, d.cfg.SharedMemPerBlock)
+			for {
+				bi := int(atomic.AddInt64(&next, 1))
+				if bi >= nBlocks || panicked.Load() != nil {
+					return
+				}
+				for i := range shared {
+					shared[i] = 0
+				}
+				b := &Block{
+					dev:      d,
+					BlockIdx: bi,
+					Dim:      d.cfg.WarpSize,
+					Shared:   shared,
+				}
+				kernel(b)
+				smCycles[sm] += b.ctr.cycles
+				blockStats[sm].add(&b.ctr)
+			}
+		}(sm)
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r) // kernel fault surfaces at the synchronous launch, like CUDA
+	}
+
+	var ls LaunchStats
+	ls.Blocks = nBlocks
+	for sm := 0; sm < sms; sm++ {
+		if smCycles[sm] > ls.MaxSMCycles {
+			ls.MaxSMCycles = smCycles[sm]
+		}
+		ls.TotalCycles += smCycles[sm]
+		ls.Instructions += blockStats[sm].instructions
+		ls.GlobalTxns += blockStats[sm].globalTxns
+		ls.GlobalBytes += blockStats[sm].globalBytes
+		ls.SharedAcc += blockStats[sm].sharedAcc
+		ls.Conflicts += blockStats[sm].conflicts
+		ls.Divergent += blockStats[sm].divergent
+	}
+	ls.SimSeconds = float64(ls.MaxSMCycles) / d.cfg.ClockHz
+
+	d.mu.Lock()
+	d.stats.KernelsLaunched++
+	d.stats.BlocksExecuted += int64(nBlocks)
+	d.stats.Instructions += ls.Instructions
+	d.stats.GlobalTxns += ls.GlobalTxns
+	d.stats.GlobalBytes += ls.GlobalBytes
+	d.stats.SharedAccesses += ls.SharedAcc
+	d.stats.BankConflicts += ls.Conflicts
+	d.stats.DivergentLanes += ls.Divergent
+	d.stats.SimSeconds += ls.SimSeconds
+	d.mu.Unlock()
+	return ls
+}
+
+type blockCounters struct {
+	cycles       int64
+	instructions int64
+	globalTxns   int64
+	globalBytes  int64
+	sharedAcc    int64
+	conflicts    int64
+	divergent    int64
+}
+
+func (c *blockCounters) add(o *blockCounters) {
+	c.instructions += o.instructions
+	c.globalTxns += o.globalTxns
+	c.globalBytes += o.globalBytes
+	c.sharedAcc += o.sharedAcc
+	c.conflicts += o.conflicts
+	c.divergent += o.divergent
+}

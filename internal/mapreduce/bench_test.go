@@ -1,0 +1,37 @@
+package mapreduce
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func BenchmarkWordCountJob(b *testing.B) {
+	doc := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog ", 40))
+	splits := make([]Split, 8)
+	for i := range splits {
+		splits[i] = Split{DocBase: uint32(i * 4), Docs: [][]byte{doc, doc, doc, doc}}
+	}
+	m := func(_ uint32, doc []byte, emit func(string, []byte)) error {
+		for _, w := range strings.Fields(string(doc)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	}
+	r := func(key string, values [][]byte, emit func(string, []byte)) error {
+		sum := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(string(v))
+			sum += n
+		}
+		emit(key, []byte(strconv.Itoa(sum)))
+		return nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Reducers: 4, Combiner: r}, splits, m, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

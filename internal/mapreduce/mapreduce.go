@@ -1,0 +1,218 @@
+// Package mapreduce is an in-process MapReduce runtime (Dean &
+// Ghemawat's model, §II) used to implement the paper's comparison
+// baselines: Ivory MapReduce [Lin et al. 2009] and Single-Pass
+// MapReduce [McCreadie et al. 2009].
+//
+// The runtime really executes the jobs — mappers emit key/value pairs
+// that are partitioned, optionally combined, shuffled, sorted and
+// grouped for the reducers — so baseline outputs can be verified
+// against the reference indexer. Per-split and per-partition serial
+// durations are measured during execution, and ClusterMakespan
+// schedules them onto a modeled cluster (map workers, reduce workers,
+// shuffle bandwidth), mirroring how the engine's pipesim turns
+// measured durations into parallel timings.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// KV is one emitted key/value pair. Keys are byte strings whose
+// lexicographic order defines the reduce grouping and ordering —
+// Ivory's composite (term, docID) keys rely on this.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Mapper processes one document.
+type Mapper func(docID uint32, doc []byte, emit func(key string, value []byte)) error
+
+// Reducer processes one key's value group; values arrive in the order
+// their keys sorted (stable within equal keys by emission order).
+type Reducer func(key string, values [][]byte, emit func(key string, value []byte)) error
+
+// Partitioner routes a key to one of r partitions.
+type Partitioner func(key string, r int) int
+
+// Split is one map task's input: a contiguous range of documents.
+type Split struct {
+	DocBase uint32
+	Docs    [][]byte
+}
+
+// Config shapes a job.
+type Config struct {
+	// Reducers is the number of reduce partitions.
+	Reducers int
+
+	// Partition defaults to an FNV hash of the whole key.
+	Partition Partitioner
+
+	// Combiner optionally pre-reduces each split's output (same
+	// contract as Reducer).
+	Combiner Reducer
+}
+
+// Timing holds measured serial durations for cluster modeling.
+type Timing struct {
+	MapSec      []float64 // per split: map (+ combine + partition)
+	ReduceSec   []float64 // per partition: sort + group + reduce
+	ShuffleKV   int64     // pairs crossing the shuffle
+	ShuffleB    int64     // bytes crossing the shuffle
+	TotalSerial float64
+}
+
+// Output is a completed job.
+type Output struct {
+	// Partitions[r] holds reducer r's emitted pairs in key order.
+	Partitions [][]KV
+	Timing     Timing
+}
+
+// DefaultPartition hashes the full key (FNV-1a).
+func DefaultPartition(key string, r int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(r))
+}
+
+// Run executes the job to completion.
+func Run(cfg Config, splits []Split, m Mapper, r Reducer) (*Output, error) {
+	if cfg.Reducers <= 0 {
+		cfg.Reducers = 1
+	}
+	if cfg.Partition == nil {
+		cfg.Partition = DefaultPartition
+	}
+	out := &Output{Partitions: make([][]KV, cfg.Reducers)}
+	partitions := make([][]KV, cfg.Reducers)
+
+	// Map phase (per-split measured).
+	for si, sp := range splits {
+		t0 := time.Now()
+		var emitted []KV
+		emit := func(key string, value []byte) {
+			emitted = append(emitted, KV{key, append([]byte(nil), value...)})
+		}
+		for d, doc := range sp.Docs {
+			if err := m(sp.DocBase+uint32(d), doc, emit); err != nil {
+				return nil, fmt.Errorf("mapreduce: map split %d: %w", si, err)
+			}
+		}
+		if cfg.Combiner != nil {
+			var err error
+			emitted, err = combine(emitted, cfg.Combiner)
+			if err != nil {
+				return nil, fmt.Errorf("mapreduce: combine split %d: %w", si, err)
+			}
+		}
+		for _, kv := range emitted {
+			p := cfg.Partition(kv.Key, cfg.Reducers)
+			if p < 0 || p >= cfg.Reducers {
+				return nil, fmt.Errorf("mapreduce: partitioner returned %d of %d", p, cfg.Reducers)
+			}
+			partitions[p] = append(partitions[p], kv)
+			out.Timing.ShuffleKV++
+			out.Timing.ShuffleB += int64(len(kv.Key) + len(kv.Value) + 8)
+		}
+		d := time.Since(t0).Seconds()
+		out.Timing.MapSec = append(out.Timing.MapSec, d)
+		out.Timing.TotalSerial += d
+	}
+
+	// Reduce phase (per-partition measured): sort, group, reduce.
+	for p := 0; p < cfg.Reducers; p++ {
+		t0 := time.Now()
+		kvs := partitions[p]
+		sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+		emit := func(key string, value []byte) {
+			out.Partitions[p] = append(out.Partitions[p], KV{key, append([]byte(nil), value...)})
+		}
+		for i := 0; i < len(kvs); {
+			j := i + 1
+			for j < len(kvs) && kvs[j].Key == kvs[i].Key {
+				j++
+			}
+			values := make([][]byte, 0, j-i)
+			for k := i; k < j; k++ {
+				values = append(values, kvs[k].Value)
+			}
+			if err := r(kvs[i].Key, values, emit); err != nil {
+				return nil, fmt.Errorf("mapreduce: reduce %q: %w", kvs[i].Key, err)
+			}
+			i = j
+		}
+		d := time.Since(t0).Seconds()
+		out.Timing.ReduceSec = append(out.Timing.ReduceSec, d)
+		out.Timing.TotalSerial += d
+	}
+	return out, nil
+}
+
+func combine(kvs []KV, c Reducer) ([]KV, error) {
+	sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+	var out []KV
+	emit := func(key string, value []byte) {
+		out = append(out, KV{key, append([]byte(nil), value...)})
+	}
+	for i := 0; i < len(kvs); {
+		j := i + 1
+		for j < len(kvs) && kvs[j].Key == kvs[i].Key {
+			j++
+		}
+		values := make([][]byte, 0, j-i)
+		for k := i; k < j; k++ {
+			values = append(values, kvs[k].Value)
+		}
+		if err := c(kvs[i].Key, values, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// ClusterMakespan schedules the measured durations onto a modeled
+// cluster: map tasks LPT-packed onto mapWorkers, a shuffle at
+// netBytesPerSec aggregate bandwidth, reduce partitions LPT-packed
+// onto reduceWorkers — the batch-synchronous Hadoop execution the
+// baselines ran on.
+func (t *Timing) ClusterMakespan(mapWorkers, reduceWorkers int, netBytesPerSec float64) float64 {
+	span := LPT(t.MapSec, mapWorkers) + LPT(t.ReduceSec, reduceWorkers)
+	if netBytesPerSec > 0 {
+		span += float64(t.ShuffleB) / netBytesPerSec
+	}
+	return span
+}
+
+// LPT packs task durations onto n workers longest-first and returns
+// the makespan.
+func LPT(tasks []float64, n int) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	sorted := append([]float64(nil), tasks...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	load := make([]float64, n)
+	for _, d := range sorted {
+		minI := 0
+		for i := 1; i < n; i++ {
+			if load[i] < load[minI] {
+				minI = i
+			}
+		}
+		load[minI] += d
+	}
+	max := 0.0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

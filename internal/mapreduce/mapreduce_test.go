@@ -1,0 +1,222 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wordCount is the canonical MapReduce smoke test.
+func wordCountJob(t *testing.T, cfg Config) map[string]int {
+	t.Helper()
+	splits := []Split{
+		{DocBase: 0, Docs: [][]byte{[]byte("a b a"), []byte("b c")}},
+		{DocBase: 2, Docs: [][]byte{[]byte("c c a")}},
+	}
+	m := func(_ uint32, doc []byte, emit func(string, []byte)) error {
+		for _, w := range strings.Fields(string(doc)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	}
+	r := func(key string, values [][]byte, emit func(string, []byte)) error {
+		sum := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(string(v))
+			if err != nil {
+				return err
+			}
+			sum += n
+		}
+		emit(key, []byte(strconv.Itoa(sum)))
+		return nil
+	}
+	out, err := Run(cfg, splits, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, part := range out.Partitions {
+		prev := ""
+		for _, kv := range part {
+			if kv.Key < prev {
+				t.Errorf("partition output unsorted: %q after %q", kv.Key, prev)
+			}
+			prev = kv.Key
+			n, _ := strconv.Atoi(string(kv.Value))
+			got[kv.Key] += n
+		}
+	}
+	return got
+}
+
+func TestWordCount(t *testing.T) {
+	for _, reducers := range []int{1, 2, 7} {
+		got := wordCountJob(t, Config{Reducers: reducers})
+		want := map[string]int{"a": 3, "b": 2, "c": 3}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("reducers=%d: count[%q] = %d, want %d", reducers, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestCombinerReducesShuffle(t *testing.T) {
+	sum := func(key string, values [][]byte, emit func(string, []byte)) error {
+		total := 0
+		for _, v := range values {
+			n, _ := strconv.Atoi(string(v))
+			total += n
+		}
+		emit(key, []byte(strconv.Itoa(total)))
+		return nil
+	}
+	runKV := func(withCombiner bool) int64 {
+		cfg := Config{Reducers: 2}
+		if withCombiner {
+			cfg.Combiner = sum
+		}
+		splits := []Split{{Docs: [][]byte{[]byte(strings.Repeat("x ", 100))}}}
+		m := func(_ uint32, doc []byte, emit func(string, []byte)) error {
+			for _, w := range strings.Fields(string(doc)) {
+				emit(w, []byte("1"))
+			}
+			return nil
+		}
+		out, err := Run(cfg, splits, m, sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out.Partitions[DefaultPartition("x", 2)][0].Value) != "100" {
+			t.Fatal("wrong count")
+		}
+		return out.Timing.ShuffleKV
+	}
+	without := runKV(false)
+	with := runKV(true)
+	if with >= without {
+		t.Errorf("combiner did not shrink shuffle: %d vs %d", with, without)
+	}
+	if with != 1 {
+		t.Errorf("combined shuffle = %d pairs, want 1", with)
+	}
+}
+
+func TestCustomPartitionKeepsTermTogether(t *testing.T) {
+	// Ivory-style composite keys: partition on the term prefix only.
+	part := func(key string, r int) int {
+		term, _, _ := strings.Cut(key, "\x00")
+		return DefaultPartition(term, r)
+	}
+	splits := []Split{{Docs: [][]byte{[]byte("ignored")}}}
+	m := func(_ uint32, _ []byte, emit func(string, []byte)) error {
+		emit("term\x00doc1", []byte("1"))
+		emit("term\x00doc2", []byte("1"))
+		emit("other\x00doc1", []byte("1"))
+		return nil
+	}
+	identity := func(key string, values [][]byte, emit func(string, []byte)) error {
+		emit(key, values[0])
+		return nil
+	}
+	out, err := Run(Config{Reducers: 4, Partition: part}, splits, m, identity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both "term" keys land in the same partition, in docID order.
+	p := part("term\x00", 4)
+	var terms []string
+	for _, kv := range out.Partitions[p] {
+		if strings.HasPrefix(kv.Key, "term\x00") {
+			terms = append(terms, kv.Key)
+		}
+	}
+	if len(terms) != 2 || terms[0] > terms[1] {
+		t.Errorf("composite keys mishandled: %v", terms)
+	}
+}
+
+func TestPartitionerRangeChecked(t *testing.T) {
+	m := func(_ uint32, _ []byte, emit func(string, []byte)) error {
+		emit("k", nil)
+		return nil
+	}
+	r := func(key string, _ [][]byte, _ func(string, []byte)) error { return nil }
+	bad := func(string, int) int { return 99 }
+	_, err := Run(Config{Reducers: 2, Partition: bad},
+		[]Split{{Docs: [][]byte{[]byte("x")}}}, m, r)
+	if err == nil {
+		t.Error("out-of-range partition must error")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	m := func(_ uint32, _ []byte, _ func(string, []byte)) error {
+		return fmt.Errorf("boom")
+	}
+	r := func(string, [][]byte, func(string, []byte)) error { return nil }
+	if _, err := Run(Config{}, []Split{{Docs: [][]byte{[]byte("x")}}}, m, r); err == nil {
+		t.Error("map error must propagate")
+	}
+}
+
+func TestTimingAccounting(t *testing.T) {
+	got := wordCountJob(t, Config{Reducers: 3})
+	if len(got) != 3 {
+		t.Fatal("bad word count")
+	}
+	// Rebuild to inspect timing.
+	splits := []Split{{Docs: [][]byte{[]byte("a b")}}, {Docs: [][]byte{[]byte("c")}}}
+	m := func(_ uint32, doc []byte, emit func(string, []byte)) error {
+		for _, w := range strings.Fields(string(doc)) {
+			emit(w, []byte("1"))
+		}
+		return nil
+	}
+	r := func(key string, v [][]byte, emit func(string, []byte)) error {
+		emit(key, v[0])
+		return nil
+	}
+	out, err := Run(Config{Reducers: 2}, splits, m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Timing.MapSec) != 2 || len(out.Timing.ReduceSec) != 2 {
+		t.Fatalf("timing arrays wrong: %+v", out.Timing)
+	}
+	if out.Timing.ShuffleKV != 3 || out.Timing.ShuffleB <= 0 {
+		t.Errorf("shuffle accounting: %+v", out.Timing)
+	}
+	if out.Timing.ClusterMakespan(2, 2, 1e9) <= 0 {
+		t.Error("makespan must be positive")
+	}
+}
+
+func TestLPT(t *testing.T) {
+	if got := LPT([]float64{4, 3, 2, 1}, 2); got != 5 {
+		t.Errorf("LPT = %v, want 5", got)
+	}
+	if got := LPT([]float64{10}, 4); got != 10 {
+		t.Errorf("LPT single = %v, want 10", got)
+	}
+	if got := LPT(nil, 3); got != 0 {
+		t.Errorf("LPT empty = %v, want 0", got)
+	}
+	if got := LPT([]float64{1, 1}, 0); got != 2 {
+		t.Errorf("LPT n=0 treated as 1: %v", got)
+	}
+}
+
+func TestMoreWorkersNeverSlower(t *testing.T) {
+	tasks := []float64{5, 4, 3, 2, 1, 1, 1}
+	prev := LPT(tasks, 1)
+	for n := 2; n < 10; n++ {
+		cur := LPT(tasks, n)
+		if cur > prev {
+			t.Errorf("LPT(%d) = %v > LPT(%d) = %v", n, cur, n-1, prev)
+		}
+		prev = cur
+	}
+}

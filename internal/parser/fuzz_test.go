@@ -1,0 +1,66 @@
+package parser
+
+import (
+	"testing"
+
+	"fastinvert/internal/trie"
+)
+
+// FuzzParseDoc feeds arbitrary document bytes through the full parse
+// pipeline and checks the block invariants hold for any input.
+func FuzzParseDoc(f *testing.F) {
+	f.Add([]byte("The quick brown fox"))
+	f.Add([]byte(""))
+	f.Add([]byte("zo\xc3\xa9 0195 -80 <html> aaat"))
+	f.Add([]byte{0xFF, 0x00, 0x80, 'a'})
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		p := New(nil)
+		blk := NewBlock(0)
+		p.ParseDoc(7, doc, blk)
+		if err := blk.Validate(); err != nil {
+			t.Fatalf("invalid block from %q: %v", doc, err)
+		}
+		total := 0
+		for idx, g := range blk.Groups {
+			if !trie.Valid(idx) {
+				t.Fatalf("invalid collection %d", idx)
+			}
+			err := g.ForEach(func(docID uint32, stripped []byte) error {
+				if docID != 7 {
+					t.Fatalf("docID %d, want 7", docID)
+				}
+				if len(stripped) > MaxTokenLen {
+					t.Fatalf("stripped term too long: %d", len(stripped))
+				}
+				total++
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if total != blk.Tokens {
+			t.Fatalf("stream holds %d tokens, block says %d", total, blk.Tokens)
+		}
+		if blk.DocTokens[7] != blk.Tokens {
+			t.Fatalf("doc length %d, want %d", blk.DocTokens[7], blk.Tokens)
+		}
+	})
+}
+
+// FuzzGroupForEach hardens the group-stream decoder against arbitrary
+// bytes: parse or reject, never panic, never read out of bounds.
+func FuzzGroupForEach(f *testing.F) {
+	p := New(nil)
+	blk := NewBlock(0)
+	p.ParseDoc(1, []byte("hello world zebra"), blk)
+	for _, g := range blk.Groups {
+		f.Add(g.Stream)
+	}
+	f.Add([]byte{DocMarker, 1, 0, 0, 0, 3, 'a', 'b', 'c'})
+	f.Add([]byte{DocMarker})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		g := &Group{Stream: stream}
+		g.ForEach(func(uint32, []byte) error { return nil }) //nolint:errcheck
+	})
+}

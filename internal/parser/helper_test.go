@@ -1,0 +1,6 @@
+package parser
+
+import "fastinvert/internal/stem"
+
+// stemHelper wraps stem.Stem for test reference implementations.
+func stemHelper(term []byte) []byte { return stem.Stem(term) }

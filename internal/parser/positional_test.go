@@ -1,0 +1,94 @@
+package parser
+
+import (
+	"testing"
+
+	"fastinvert/internal/trie"
+)
+
+func TestPositionalParseRecordsTokenOrdinals(t *testing.T) {
+	p := New(nil)
+	p.Positional = true
+	blk := NewBlock(0)
+	// Token positions: the=0 quick=1 fox=2 jumped=3 over=4 the=5 dog=6.
+	// Stop words ("the", "over") are dropped but keep their ordinals.
+	p.ParseDoc(3, []byte("the quick fox jumped over the dog"), blk)
+	if !blk.Positional {
+		t.Fatal("block not marked positional")
+	}
+	want := map[string]uint32{
+		"quick": 1, "fox": 2, "jump": 3, "dog": 6,
+	}
+	got := map[string]uint32{}
+	for gi, g := range blk.Groups {
+		if !g.Positional {
+			t.Fatalf("group %d not positional", gi)
+		}
+		err := g.ForEachPos(func(doc, pos uint32, stripped []byte) error {
+			if doc != 3 {
+				t.Errorf("doc = %d", doc)
+			}
+			got[string(trie.Restore(gi, stripped))] = pos
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("terms = %v, want %v", got, want)
+	}
+	for term, pos := range want {
+		if got[term] != pos {
+			t.Errorf("position of %q = %d, want %d", term, got[term], pos)
+		}
+	}
+}
+
+func TestPositionalLargePositionsVarbyte(t *testing.T) {
+	p := New(nil)
+	p.Positional = true
+	blk := NewBlock(0)
+	// Build a document long enough that positions exceed one varbyte.
+	doc := make([]byte, 0, 4096)
+	for i := 0; i < 300; i++ {
+		doc = append(doc, "filler "...)
+	}
+	doc = append(doc, "zzzuniquez"...)
+	p.ParseDoc(1, doc, blk)
+	idx := trie.IndexString("zzzuniquez")
+	g := blk.Groups[idx]
+	if g == nil {
+		t.Fatal("target group missing")
+	}
+	found := false
+	g.ForEachPos(func(_, pos uint32, stripped []byte) error {
+		if string(stripped) == "uniquez" {
+			if pos != 300 {
+				t.Errorf("position = %d, want 300", pos)
+			}
+			found = true
+		}
+		return nil
+	})
+	if !found {
+		t.Fatal("unique term not found")
+	}
+	if err := blk.Validate(); err != nil {
+		t.Fatalf("Validate on positional block: %v", err)
+	}
+}
+
+func TestNonPositionalForEachPosYieldsZero(t *testing.T) {
+	p := New(nil)
+	blk := NewBlock(0)
+	p.ParseDoc(1, []byte("alpha beta"), blk)
+	for _, g := range blk.Groups {
+		g.ForEachPos(func(_, pos uint32, _ []byte) error {
+			if pos != 0 {
+				t.Errorf("non-positional group yielded pos %d", pos)
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Package parser implements the paper's parser stage (§III.C, Fig. 3):
+// tokenization, Porter stemming, stop-word removal, and the regrouping
+// step that reorders a document batch's terms by trie-collection index
+// and strips the trie-captured prefix. Its output, a Block, is the
+// parsed stream consumed by the CPU and GPU indexers.
+package parser
+
+import (
+	"fastinvert/internal/stem"
+	"fastinvert/internal/stopwords"
+	"fastinvert/internal/trie"
+)
+
+// MaxTokenLen bounds raw token length. The paper assumes no term
+// exceeds 255 bytes (Fig. 6's one-byte length); we clamp earlier so
+// that even after prefix stripping a term record's length byte can
+// never equal the docMarker sentinel.
+const MaxTokenLen = 200
+
+// Tokenizer splits document bytes into lowercase tokens. Token bytes
+// are ASCII letters (case-folded), digits, and any byte >= 0x80
+// (multi-byte UTF-8 content such as "zoé" stays a single token, giving
+// Table I's "special letter" terms); everything else separates tokens.
+type Tokenizer struct {
+	buf []byte
+}
+
+// tokenByte classifies c and returns its folded form.
+func tokenByte(c byte) (byte, bool) {
+	switch {
+	case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c >= 0x80:
+		return c, true
+	case c >= 'A' && c <= 'Z':
+		return c + 'a' - 'A', true
+	}
+	return 0, false
+}
+
+// Next scans text from offset off and returns the next token (valid
+// until the following call), the offset to resume at, and ok=false at
+// end of input. Over-long runs are truncated to MaxTokenLen with the
+// remainder of the run consumed.
+func (t *Tokenizer) Next(text []byte, off int) (tok []byte, next int, ok bool) {
+	n := len(text)
+	for off < n {
+		if _, isTok := tokenByte(text[off]); isTok {
+			break
+		}
+		off++
+	}
+	if off >= n {
+		return nil, n, false
+	}
+	t.buf = t.buf[:0]
+	for off < n {
+		c, isTok := tokenByte(text[off])
+		if !isTok {
+			break
+		}
+		if len(t.buf) < MaxTokenLen {
+			t.buf = append(t.buf, c)
+		}
+		off++
+	}
+	return t.buf, off, true
+}
+
+// Parser executes Steps 2-5 of Fig. 3 for successive documents. It is
+// not safe for concurrent use; the pipeline runs one Parser per parser
+// thread.
+type Parser struct {
+	tok  Tokenizer
+	stop *stopwords.Set
+
+	// DisableStem and DisableStop support ablation benches.
+	DisableStem bool
+	DisableStop bool
+
+	// Positional records each surviving term's token position within
+	// its document (the raw token ordinal, so removed stop words
+	// leave gaps — the convention phrase queries expect).
+	Positional bool
+}
+
+// New returns a Parser using the given stop-word set (nil means the
+// default English list).
+func New(stop *stopwords.Set) *Parser {
+	if stop == nil {
+		stop = stopwords.Default()
+	}
+	return &Parser{stop: stop}
+}
+
+// ParseDoc tokenizes, stems and filters one document and appends its
+// terms to the block under local document ID docID (Steps 2-4), routed
+// to per-trie-collection groups with prefixes stripped (Step 5).
+//
+// The trie index is computed on the final stemmed term rather than
+// during the raw scan: stemming only rewrites suffixes but can shorten
+// a term across Table I's three-letter boundary (e.g. "cats" -> "cat"),
+// and the dictionary must see a consistent index for a given stored
+// term. The added cost is a few byte inspections per term, matching
+// the paper's "minimal additional effort" claim.
+func (p *Parser) ParseDoc(docID uint32, text []byte, blk *Block) {
+	if p.Positional {
+		blk.Positional = true
+	}
+	off := 0
+	pos := uint32(0)
+	for {
+		tok, next, ok := p.tok.Next(text, off)
+		if !ok {
+			break
+		}
+		off = next
+		tokenPos := pos
+		pos++
+		term := tok
+		if !p.DisableStem {
+			term = stem.Stem(term)
+		}
+		if !p.DisableStop && p.stop.Contains(term) {
+			continue
+		}
+		if len(term) == 0 {
+			continue
+		}
+		idx := trie.Index(term)
+		if p.Positional {
+			blk.addPos(idx, docID, tokenPos, trie.Strip(idx, term))
+		} else {
+			blk.add(idx, docID, trie.Strip(idx, term))
+		}
+	}
+	blk.docSeen(docID)
+}

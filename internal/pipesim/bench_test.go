@@ -1,0 +1,29 @@
+package pipesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	items := make([]Item, 1500) // the paper's ClueWeb09 file count
+	for i := range items {
+		items[i] = Item{
+			ReadSec:       0.5 + rng.Float64(),
+			DecompressSec: 1 + rng.Float64(),
+			ParseSec:      2 + rng.Float64()*2,
+			IndexSec: []float64{
+				1 + rng.Float64(), 1 + rng.Float64(),
+				2 + rng.Float64(), 2 + rng.Float64(),
+			},
+			PostSec: 0.2 + rng.Float64()*0.1,
+		}
+	}
+	cfg := Config{Parsers: 6, Indexers: 4, BufferPerParser: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(cfg, items)
+	}
+}

@@ -1,0 +1,172 @@
+// Package pipesim is a discrete-event simulator of the paper's
+// pipelined dataflow (Fig. 9): M parser threads fed by a serialized
+// disk, per-parser output buffers, and a set of indexer workers (CPU
+// threads and GPUs) that consume parsed blocks in strict global order
+// so postings stay document-sorted (§III.F).
+//
+// The simulator exists because parallel wall-clock speedups require
+// physical cores, while this reproduction must run anywhere (including
+// single-CPU hosts): the engine executes the full computation for
+// correctness, measures each item's serial durations, and feeds them
+// here to obtain the parallel schedule the paper's hardware would
+// exhibit. All scheduling rules match §III.F/§IV.A:
+//
+//   - one file read at a time (the disk scheduler), in file order;
+//   - a parser handles read, decompress (after the full read — the
+//     paper's chosen scheme 2), and parse for its file;
+//   - files go to parsers round-robin, and each parser's block must
+//     wait for a free buffer slot before the parser takes new work;
+//   - every indexer consumes its share of every block, in block order;
+//     a block's buffer slot frees when all indexers finish it.
+package pipesim
+
+// Item is one container file moving through the pipeline with its
+// measured (or modeled) stage durations in seconds.
+type Item struct {
+	ReadSec       float64
+	DecompressSec float64
+	ParseSec      float64
+	// IndexSec[i] is indexer i's share of this item (0 when the
+	// indexer owns no collection present in the block).
+	IndexSec []float64
+
+	// PostSec is the serialized post-processing after all shares
+	// complete: combining the run's postings lists, compressing them
+	// and writing the run file (§III.E: "these two steps are
+	// serialized").
+	PostSec float64
+}
+
+// Config shapes the pipeline.
+type Config struct {
+	Parsers         int
+	Indexers        int
+	BufferPerParser int // parsed blocks a parser may hold; default 1
+}
+
+// Result reports the simulated schedule.
+type Result struct {
+	MakespanSec float64
+
+	// Per-item timestamps (seconds from start).
+	ReadDone  []float64
+	ParseDone []float64 // block emission (after any buffer wait)
+	IndexDone []float64 // all indexer shares complete
+
+	// Busy-time accounting for utilization analysis.
+	DiskBusySec    float64
+	ParserBusySec  []float64
+	IndexerBusySec []float64
+
+	// ParsersOnlyMakespan is the completion time of the last parse,
+	// Fig. 10's scenario (3) when Indexers == 0.
+	ParsersOnlyMakespan float64
+}
+
+// Simulate runs the schedule and returns its timing.
+func Simulate(cfg Config, items []Item) Result {
+	if cfg.Parsers < 1 {
+		cfg.Parsers = 1
+	}
+	if cfg.BufferPerParser < 1 {
+		cfg.BufferPerParser = 1
+	}
+	n := len(items)
+	res := Result{
+		ReadDone:       make([]float64, n),
+		ParseDone:      make([]float64, n),
+		IndexDone:      make([]float64, n),
+		ParserBusySec:  make([]float64, cfg.Parsers),
+		IndexerBusySec: make([]float64, cfg.Indexers),
+	}
+
+	diskFree := 0.0
+	parserFree := make([]float64, cfg.Parsers)
+	indexerFree := make([]float64, cfg.Indexers)
+	// outstanding[p] holds the consumption times of parser p's
+	// emitted-but-unconsumed blocks, oldest first.
+	outstanding := make([][]float64, cfg.Parsers)
+
+	for f := 0; f < n; f++ {
+		it := items[f]
+		p := f % cfg.Parsers
+
+		// Read: parser and disk must both be free; reads stay in
+		// file order because f is ascending and diskFree only grows.
+		start := parserFree[p]
+		if diskFree > start {
+			start = diskFree
+		}
+		readDone := start + it.ReadSec
+		diskFree = readDone
+		res.DiskBusySec += it.ReadSec
+		res.ReadDone[f] = readDone
+
+		// Decompress + parse on the parser thread.
+		parsed := readDone + it.DecompressSec + it.ParseSec
+		res.ParserBusySec[p] += it.ReadSec + it.DecompressSec + it.ParseSec
+
+		// Buffer: wait until a slot frees (oldest block consumed).
+		for len(outstanding[p]) >= cfg.BufferPerParser {
+			if outstanding[p][0] > parsed {
+				parsed = outstanding[p][0]
+			}
+			outstanding[p] = outstanding[p][1:]
+		}
+		res.ParseDone[f] = parsed
+		parserFree[p] = parsed
+		if parsed > res.ParsersOnlyMakespan {
+			res.ParsersOnlyMakespan = parsed
+		}
+
+		// Indexers consume block f in order; block done when the
+		// slowest share finishes.
+		blockDone := parsed
+		for i := 0; i < cfg.Indexers; i++ {
+			var share float64
+			if i < len(it.IndexSec) {
+				share = it.IndexSec[i]
+			}
+			s := indexerFree[i]
+			if parsed > s {
+				s = parsed
+			}
+			done := s + share
+			indexerFree[i] = done
+			res.IndexerBusySec[i] += share
+			if done > blockDone {
+				blockDone = done
+			}
+		}
+		// Post-processing is a per-run barrier (Fig. 8): the combiner
+		// runs after every share and the next run's indexing starts
+		// after it completes.
+		blockDone += it.PostSec
+		if it.PostSec > 0 {
+			for i := range indexerFree {
+				if blockDone > indexerFree[i] {
+					indexerFree[i] = blockDone
+				}
+			}
+		}
+		res.IndexDone[f] = blockDone
+		outstanding[p] = append(outstanding[p], blockDone)
+
+		if blockDone > res.MakespanSec {
+			res.MakespanSec = blockDone
+		}
+	}
+	if res.ParsersOnlyMakespan > res.MakespanSec {
+		res.MakespanSec = res.ParsersOnlyMakespan
+	}
+	return res
+}
+
+// Throughput converts processed bytes and a duration into MB/s, the
+// paper's reporting unit (uncompressed bytes / total time).
+func Throughput(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / seconds
+}

@@ -1,0 +1,167 @@
+package pipesim
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+func TestSingleItemSerialChain(t *testing.T) {
+	items := []Item{{ReadSec: 1, DecompressSec: 2, ParseSec: 3, IndexSec: []float64{4}}}
+	r := Simulate(Config{Parsers: 1, Indexers: 1}, items)
+	approx(t, "ReadDone", r.ReadDone[0], 1)
+	approx(t, "ParseDone", r.ParseDone[0], 6)
+	approx(t, "IndexDone", r.IndexDone[0], 10)
+	approx(t, "Makespan", r.MakespanSec, 10)
+}
+
+func TestSerializedDiskBlocksParsers(t *testing.T) {
+	// Two parsers, two items: reads serialize, so parser 1 starts its
+	// read only after parser 0's read completes.
+	items := []Item{
+		{ReadSec: 5, ParseSec: 1, IndexSec: []float64{0}},
+		{ReadSec: 5, ParseSec: 1, IndexSec: []float64{0}},
+	}
+	r := Simulate(Config{Parsers: 2, Indexers: 1}, items)
+	approx(t, "ReadDone[0]", r.ReadDone[0], 5)
+	approx(t, "ReadDone[1]", r.ReadDone[1], 10)
+	approx(t, "ParseDone[1]", r.ParseDone[1], 11)
+	approx(t, "DiskBusy", r.DiskBusySec, 10)
+}
+
+func TestParallelParsersOverlapParsing(t *testing.T) {
+	// Fast reads, slow parses: with 2 parsers the parses overlap.
+	mk := func(parsers int) float64 {
+		items := make([]Item, 4)
+		for i := range items {
+			items[i] = Item{ReadSec: 0.1, ParseSec: 10, IndexSec: []float64{0.1}}
+		}
+		return Simulate(Config{Parsers: parsers, Indexers: 1}, items).MakespanSec
+	}
+	one, two, four := mk(1), mk(2), mk(4)
+	if two >= one*0.7 {
+		t.Errorf("2 parsers (%.1f) should nearly halve 1 parser (%.1f)", two, one)
+	}
+	if four >= two*0.7 {
+		t.Errorf("4 parsers (%.1f) should nearly halve 2 parsers (%.1f)", four, two)
+	}
+}
+
+func TestIndexersBottleneck(t *testing.T) {
+	// Indexing dominates: adding parsers beyond 1 cannot help, adding
+	// indexers does (Fig. 10's crossover logic).
+	// The same total indexing work per block, split across the
+	// available indexers (the paper's collection partition).
+	mk := func(shares []float64) []Item {
+		items := make([]Item, 6)
+		for i := range items {
+			items[i] = Item{ReadSec: 0.1, ParseSec: 0.1, IndexSec: shares}
+		}
+		return items
+	}
+	oneIdx := Simulate(Config{Parsers: 2, Indexers: 1}, mk([]float64{20})).MakespanSec
+	twoIdx := Simulate(Config{Parsers: 2, Indexers: 2}, mk([]float64{10, 10})).MakespanSec
+	if twoIdx >= oneIdx*0.6 {
+		t.Errorf("2 indexers (%.1f) should nearly halve 1 (%.1f)", twoIdx, oneIdx)
+	}
+	moreParsers := Simulate(Config{Parsers: 4, Indexers: 2}, mk([]float64{10, 10})).MakespanSec
+	if moreParsers < twoIdx*0.95 {
+		t.Errorf("extra parsers helped an indexer-bound pipeline: %.1f vs %.1f",
+			moreParsers, twoIdx)
+	}
+}
+
+func TestIndexerSharesRunConcurrently(t *testing.T) {
+	// Two indexers split a block 6/4: block completes at the max.
+	items := []Item{{ParseSec: 1, IndexSec: []float64{6, 4}}}
+	r := Simulate(Config{Parsers: 1, Indexers: 2}, items)
+	approx(t, "IndexDone", r.IndexDone[0], 7)
+}
+
+func TestBlockOrderPreserved(t *testing.T) {
+	// A fast second file cannot be indexed before the first: the
+	// indexer consumes blocks in order.
+	items := []Item{
+		{ReadSec: 1, ParseSec: 8, IndexSec: []float64{1}},
+		{ReadSec: 1, ParseSec: 0.1, IndexSec: []float64{1}},
+	}
+	r := Simulate(Config{Parsers: 2, Indexers: 1}, items)
+	if r.IndexDone[1] < r.IndexDone[0] {
+		t.Errorf("block 1 indexed (%.2f) before block 0 (%.2f)",
+			r.IndexDone[1], r.IndexDone[0])
+	}
+}
+
+func TestBufferBackpressure(t *testing.T) {
+	// Slow indexer, fast parser, buffer of 1: parser k+2's parse
+	// completion is delayed by unconsumed block k.
+	items := make([]Item, 5)
+	for i := range items {
+		items[i] = Item{ReadSec: 0.1, ParseSec: 0.1, IndexSec: []float64{10}}
+	}
+	small := Simulate(Config{Parsers: 1, Indexers: 1, BufferPerParser: 1}, items)
+	big := Simulate(Config{Parsers: 1, Indexers: 1, BufferPerParser: 100}, items)
+	// Total makespan identical (indexer-bound either way) ...
+	approx(t, "makespans equal", small.MakespanSec, big.MakespanSec)
+	// ... but with backpressure the parser's last emission is late.
+	if small.ParseDone[4] <= big.ParseDone[4] {
+		t.Errorf("no backpressure visible: %.1f vs %.1f",
+			small.ParseDone[4], big.ParseDone[4])
+	}
+}
+
+func TestParsersOnlyScenario(t *testing.T) {
+	// Fig. 10 scenario (3): no indexers at all.
+	items := make([]Item, 4)
+	for i := range items {
+		items[i] = Item{ReadSec: 1, ParseSec: 2}
+	}
+	r := Simulate(Config{Parsers: 2, Indexers: 0}, items)
+	if r.MakespanSec != r.ParsersOnlyMakespan {
+		t.Error("makespan should equal parser completion with no indexers")
+	}
+	// Timeline: reads serialize and each parser holds its thread
+	// through the parse — p0: read[0,1] parse[1,3], p1: read[1,2]
+	// parse[2,4], p0: read[3,4] parse[4,6], p1: read[4,5] parse[5,7].
+	approx(t, "Makespan", r.MakespanSec, 7)
+}
+
+func TestMissingSharesTreatedAsZero(t *testing.T) {
+	items := []Item{{ParseSec: 1, IndexSec: []float64{2}}} // indexer 1 share missing
+	r := Simulate(Config{Parsers: 1, Indexers: 2}, items)
+	approx(t, "IndexDone", r.IndexDone[0], 3)
+	approx(t, "idle indexer busy", r.IndexerBusySec[1], 0)
+}
+
+func TestThroughputHelper(t *testing.T) {
+	if got := Throughput(2<<20, 2); got != 1 {
+		t.Errorf("Throughput = %v, want 1 MB/s", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Errorf("Throughput with zero time = %v", got)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	items := make([]Item, 4)
+	for i := range items {
+		items[i] = Item{ReadSec: 1, DecompressSec: 1, ParseSec: 2, IndexSec: []float64{3}}
+	}
+	r := Simulate(Config{Parsers: 2, Indexers: 1}, items)
+	var parserTotal float64
+	for _, b := range r.ParserBusySec {
+		parserTotal += b
+	}
+	approx(t, "parser busy total", parserTotal, 4*(1+1+2))
+	approx(t, "indexer busy", r.IndexerBusySec[0], 12)
+	approx(t, "disk busy", r.DiskBusySec, 4)
+	if r.MakespanSec < 12 {
+		t.Errorf("makespan %.1f below indexer busy time", r.MakespanSec)
+	}
+}

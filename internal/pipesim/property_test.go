@@ -1,0 +1,115 @@
+package pipesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomItems(rng *rand.Rand, n, indexers int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		it := Item{
+			ReadSec:       rng.Float64(),
+			DecompressSec: rng.Float64(),
+			ParseSec:      rng.Float64() * 2,
+			PostSec:       rng.Float64() * 0.2,
+		}
+		for j := 0; j < indexers; j++ {
+			it.IndexSec = append(it.IndexSec, rng.Float64())
+		}
+		items[i] = it
+	}
+	return items
+}
+
+// TestMakespanLowerBounds: the schedule can never beat its resource
+// lower bounds — total disk time, any single indexer's busy time, or
+// any single item's critical chain.
+func TestMakespanLowerBounds(t *testing.T) {
+	f := func(seed int64, nRaw, pRaw, iRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 1
+		parsers := int(pRaw%6) + 1
+		indexers := int(iRaw % 5)
+		items := randomItems(rng, n, indexers)
+		res := Simulate(Config{Parsers: parsers, Indexers: indexers}, items)
+
+		if res.MakespanSec < res.DiskBusySec-1e-9 {
+			return false
+		}
+		for _, b := range res.IndexerBusySec {
+			if res.MakespanSec < b-1e-9 {
+				return false
+			}
+		}
+		for _, it := range items {
+			chain := it.ReadSec + it.DecompressSec + it.ParseSec + it.PostSec
+			maxShare := 0.0
+			for _, s := range it.IndexSec {
+				if s > maxShare {
+					maxShare = s
+				}
+			}
+			if res.MakespanSec < chain+maxShare-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMoreParsersNeverHurt: adding parsers (with everything else
+// fixed) cannot lengthen the schedule.
+func TestMoreParsersNeverHurt(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 2
+		items := randomItems(rng, n, 2)
+		prev := Simulate(Config{Parsers: 1, Indexers: 2}, items).MakespanSec
+		for p := 2; p <= 6; p++ {
+			cur := Simulate(Config{Parsers: p, Indexers: 2}, items).MakespanSec
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBiggerBuffersNeverHurt: deeper parser buffers only relax a
+// constraint.
+func TestBiggerBuffersNeverHurt(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%20) + 2
+		items := randomItems(rng, n, 2)
+		base := Simulate(Config{Parsers: 3, Indexers: 2, BufferPerParser: 1}, items).MakespanSec
+		deep := Simulate(Config{Parsers: 3, Indexers: 2, BufferPerParser: 8}, items).MakespanSec
+		return deep <= base+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimesMonotonicPerItem: each item's pipeline timestamps ascend.
+func TestTimesMonotonicPerItem(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	items := randomItems(rng, 25, 3)
+	res := Simulate(Config{Parsers: 4, Indexers: 3}, items)
+	for i := range items {
+		if res.ReadDone[i] > res.ParseDone[i]+1e-9 ||
+			res.ParseDone[i] > res.IndexDone[i]+1e-9 {
+			t.Fatalf("item %d timestamps not monotonic: %v %v %v",
+				i, res.ReadDone[i], res.ParseDone[i], res.IndexDone[i])
+		}
+	}
+}

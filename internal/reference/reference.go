@@ -1,0 +1,140 @@
+// Package reference provides a deliberately simple, obviously correct
+// single-threaded indexer: a hash map from stemmed terms to postings
+// lists, fed by the same parsing pipeline as the real system. It is
+// the ground truth that the pipelined CPU+GPU engine and the MapReduce
+// baselines are tested against, and the serial baseline for the
+// regrouping ablation (§III.C's 15x claim).
+package reference
+
+import (
+	"sort"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/postings"
+	"fastinvert/internal/trie"
+)
+
+// Index is a term -> postings map with document order preserved.
+type Index struct {
+	Lists  map[string]*postings.List
+	Docs   int64
+	Tokens int64
+}
+
+// BuildFromSource indexes an entire corpus source serially.
+func BuildFromSource(src corpus.Source) (*Index, error) {
+	return build(src, false)
+}
+
+// BuildPositionalFromSource indexes with token positions recorded.
+func BuildPositionalFromSource(src corpus.Source) (*Index, error) {
+	return build(src, true)
+}
+
+func build(src corpus.Source, positional bool) (*Index, error) {
+	idx := &Index{Lists: make(map[string]*postings.List)}
+	p := parser.New(nil)
+	p.Positional = positional
+	var docBase uint32
+	for i := 0; i < src.NumFiles(); i++ {
+		stored, compressed, err := src.ReadFile(i)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := corpus.Decompress(stored, compressed)
+		if err != nil {
+			return nil, err
+		}
+		docs := corpus.SplitDocs(plain)
+		blk := parser.NewBlock(0)
+		for d, doc := range docs {
+			p.ParseDoc(uint32(d), doc, blk)
+		}
+		if err := idx.AddBlock(blk, docBase); err != nil {
+			return nil, err
+		}
+		docBase += uint32(len(docs))
+		idx.Docs += int64(len(docs))
+	}
+	return idx, nil
+}
+
+// AddBlock folds one parsed block into the index, restoring full terms
+// from the trie-stripped group streams.
+func (x *Index) AddBlock(blk *parser.Block, docBase uint32) error {
+	// Deterministic group order (map iteration is random).
+	idxs := make([]int, 0, len(blk.Groups))
+	for idx := range blk.Groups {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, gi := range idxs {
+		g := blk.Groups[gi]
+		err := g.ForEachPos(func(doc, pos uint32, stripped []byte) error {
+			term := string(trie.Restore(gi, stripped))
+			l := x.Lists[term]
+			if l == nil {
+				l = &postings.List{}
+				x.Lists[term] = l
+			}
+			x.Tokens++
+			if g.Positional {
+				return l.AddPos(doc+docBase, pos)
+			}
+			return l.Add(doc + docBase)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Terms reports the number of distinct terms.
+func (x *Index) Terms() int { return len(x.Lists) }
+
+// SortedTerms returns all terms in lexicographic order.
+func (x *Index) SortedTerms() []string {
+	out := make([]string, 0, len(x.Lists))
+	for t := range x.Lists {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Equal reports whether another term->list mapping matches exactly,
+// returning the first differing term for diagnostics.
+func (x *Index) Equal(other map[string]*postings.List) (bool, string) {
+	if len(other) != len(x.Lists) {
+		return false, "(term count)"
+	}
+	for term, l := range x.Lists {
+		o := other[term]
+		if o == nil || o.Len() != l.Len() {
+			return false, term
+		}
+		for i := range l.DocIDs {
+			if l.DocIDs[i] != o.DocIDs[i] || l.TFs[i] != o.TFs[i] {
+				return false, term
+			}
+		}
+		if l.Positional() != o.Positional() {
+			return false, term
+		}
+		if l.Positional() {
+			for i := range l.Positions {
+				if len(l.Positions[i]) != len(o.Positions[i]) {
+					return false, term
+				}
+				for j := range l.Positions[i] {
+					if l.Positions[i][j] != o.Positions[i][j] {
+						return false, term
+					}
+				}
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,189 @@
+package sampling
+
+import (
+	"testing"
+
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/trie"
+)
+
+func testSource() *corpus.MemSource {
+	p := corpus.ClueWeb09(1)
+	p.VocabSize = 8000
+	p.DocsPerFile = 16
+	p.MeanDocTokens = 80
+	return corpus.NewMemSource(corpus.NewGenerator(p), 4)
+}
+
+func TestSampleCounts(t *testing.T) {
+	c, err := Sample(testSource(), Config{Ratio: 0.5, PopularCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total <= 0 || c.FilesSeen != 4 {
+		t.Fatalf("sample degenerate: %+v", c)
+	}
+	var sum int64
+	for _, n := range c.Tokens {
+		sum += n
+	}
+	if sum != c.Total {
+		t.Errorf("token sum %d != total %d", sum, c.Total)
+	}
+	// Sampling a fraction must see fewer docs than the collection.
+	if c.DocsSeen >= 4*16 {
+		t.Errorf("sampled %d docs of %d", c.DocsSeen, 4*16)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a, err := Sample(testSource(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(testSource(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total || a.DocsSeen != b.DocsSeen {
+		t.Error("sampling not deterministic")
+	}
+}
+
+func TestAssignPartitionsEverything(t *testing.T) {
+	c, err := Sample(testSource(), Config{Ratio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(c, 2, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Popular) == 0 || len(a.Popular) > 100 {
+		t.Fatalf("popular = %d", len(a.Popular))
+	}
+	// Every collection has exactly one owner; popular ones are CPU.
+	popSet := map[int]bool{}
+	for _, p := range a.Popular {
+		popSet[p] = true
+	}
+	for coll := 0; coll < trie.NumCollections; coll++ {
+		kind, idx := a.Owner(coll)
+		switch kind {
+		case KindCPU:
+			if idx < 0 || idx >= 2 {
+				t.Fatalf("collection %d: bad CPU index %d", coll, idx)
+			}
+			if !popSet[coll] {
+				t.Fatalf("unpopular collection %d on CPU with GPUs present", coll)
+			}
+		case KindGPU:
+			if popSet[coll] {
+				t.Fatalf("popular collection %d on GPU", coll)
+			}
+			if idx != coll%2 {
+				t.Fatalf("collection %d on GPU %d, want %d (i mod N)", coll, idx, coll%2)
+			}
+		}
+	}
+	// CPU sets are disjoint and cover the popular set.
+	seen := map[int]bool{}
+	total := 0
+	for _, set := range a.CPUSets {
+		for _, coll := range set {
+			if seen[coll] {
+				t.Fatalf("collection %d in two CPU sets", coll)
+			}
+			seen[coll] = true
+			total++
+		}
+	}
+	if total != len(a.Popular) {
+		t.Errorf("CPU sets hold %d, popular %d", total, len(a.Popular))
+	}
+}
+
+// TestPaperModExample reproduces §III.E's worked example: unpopular
+// indices (0,13,27,175,384,5810,10041,17316) over two GPUs.
+func TestPaperModExample(t *testing.T) {
+	var c Counts
+	// Make a few other collections popular so the listed ones stay
+	// unpopular.
+	c.Tokens[trie.IndexString("theory")] = 100
+	a, err := Assign(&c, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGPU0 := []int{0, 384, 5810, 17316}
+	wantGPU1 := []int{13, 27, 175, 10041}
+	for _, coll := range wantGPU0 {
+		if kind, idx := a.Owner(coll); kind != KindGPU || idx != 0 {
+			t.Errorf("collection %d: got (%v,%d), want GPU 0", coll, kind, idx)
+		}
+	}
+	for _, coll := range wantGPU1 {
+		if kind, idx := a.Owner(coll); kind != KindGPU || idx != 1 {
+			t.Errorf("collection %d: got (%v,%d), want GPU 1", coll, kind, idx)
+		}
+	}
+}
+
+func TestAssignNoGPUSpreadsOverCPUs(t *testing.T) {
+	c, err := Sample(testSource(), Config{Ratio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(c, 3, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for coll := 0; coll < trie.NumCollections; coll++ {
+		kind, idx := a.Owner(coll)
+		if kind != KindCPU || idx < 0 || idx >= 3 {
+			t.Fatalf("collection %d: (%v,%d) with no GPUs", coll, kind, idx)
+		}
+	}
+}
+
+func TestAssignBalance(t *testing.T) {
+	c, err := Sample(testSource(), Config{Ratio: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Assign(c, 2, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bal := CPULoadBalance(a, c); bal > 1.6 {
+		t.Errorf("CPU token balance %.2f too skewed", bal)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	var c Counts
+	if _, err := Assign(&c, 0, 0, 10); err == nil {
+		t.Error("zero indexers must fail")
+	}
+	if _, err := Assign(&c, -1, 2, 10); err == nil {
+		t.Error("negative CPU count must fail")
+	}
+}
+
+func TestAssignGPUOnly(t *testing.T) {
+	// Table IV scenario (i): no CPU indexers, everything on the GPUs.
+	var c Counts
+	c.Tokens[100] = 50
+	a, err := Assign(&c, 0, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Popular) != 0 {
+		t.Error("GPU-only assignment has no CPU-popular set")
+	}
+	for coll := 0; coll < trie.NumCollections; coll += 511 {
+		kind, idx := a.Owner(coll)
+		if kind != KindGPU || idx != coll%2 {
+			t.Fatalf("collection %d: (%v,%d)", coll, kind, idx)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package search
+
+import "testing"
+
+func benchSearcher(b *testing.B) (*Searcher, string, string) {
+	b.Helper()
+	idx, ref := buildIndex(b)
+	freq, rare := pickTerms(ref)
+	return New(idx), freq, rare
+}
+
+func BenchmarkPostingsLookup(b *testing.B) {
+	s, freq, _ := benchSearcher(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Postings(freq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAndQuery(b *testing.B) {
+	s, freq, rare := benchSearcher(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.And(freq, rare); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK(b *testing.B) {
+	s, freq, rare := benchSearcher(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TopK(10, freq, rare); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

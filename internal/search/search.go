@@ -1,0 +1,343 @@
+// Package search provides query evaluation over indexes built by the
+// engine: normalized term lookup, Boolean conjunction and disjunction
+// over postings lists, and TF-IDF ranked retrieval. It is the
+// downstream-consumer layer the inverted files exist for, and doubles
+// as an end-to-end exerciser of the run-file format.
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"fastinvert/internal/postings"
+	"fastinvert/internal/stem"
+	"fastinvert/internal/stopwords"
+	"fastinvert/internal/store"
+)
+
+// BM25 parameters (standard Robertson defaults).
+const (
+	bm25K1 = 1.2
+	bm25B  = 0.75
+)
+
+// Searcher evaluates queries against one opened index.
+type Searcher struct {
+	idx     *store.IndexReader
+	stop    *stopwords.Set
+	numDocs int64
+	docLens []uint32 // optional, enables BM25 length normalization
+	avgLen  float64
+}
+
+// New wraps an opened index. The document count for IDF comes from the
+// index's docID-range map; when the index carries document lengths,
+// ranked retrieval uses BM25 instead of plain TF-IDF.
+func New(idx *store.IndexReader) *Searcher {
+	var maxDoc uint32
+	any := false
+	for _, r := range idx.Runs() {
+		if r.LastDoc >= maxDoc {
+			maxDoc = r.LastDoc
+			any = true
+		}
+	}
+	n := int64(0)
+	if any {
+		n = int64(maxDoc) + 1
+	}
+	s := &Searcher{idx: idx, stop: stopwords.Default(), numDocs: n}
+	if lens := idx.DocLens(); len(lens) > 0 {
+		s.docLens = lens
+		var sum float64
+		for _, l := range lens {
+			sum += float64(l)
+		}
+		s.avgLen = sum / float64(len(lens))
+	}
+	return s
+}
+
+// UsesBM25 reports whether ranked retrieval applies BM25 length
+// normalization (requires an index written with document lengths).
+func (s *Searcher) UsesBM25() bool { return s.avgLen > 0 }
+
+// NumDocs reports the collection size used for IDF.
+func (s *Searcher) NumDocs() int64 { return s.numDocs }
+
+// Normalize applies the indexing pipeline's normalization to a query
+// word; stop reports whether the word is a stop word (and therefore
+// unindexed).
+func (s *Searcher) Normalize(word string) (term string, stop bool) {
+	b := make([]byte, 0, len(word))
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	b = stem.Stem(b)
+	return string(b), s.stop.Contains(b)
+}
+
+// Postings fetches the normalized word's postings list (empty for stop
+// words and unknown terms).
+func (s *Searcher) Postings(word string) (*postings.List, error) {
+	term, stop := s.Normalize(word)
+	if stop || term == "" {
+		return &postings.List{}, nil
+	}
+	return s.idx.Postings(term)
+}
+
+// And returns the docIDs containing every word (stop words are
+// ignored; if all words are stop words the result is empty).
+func (s *Searcher) And(words ...string) ([]uint32, error) {
+	var lists []*postings.List
+	for _, w := range words {
+		term, stop := s.Normalize(w)
+		if stop || term == "" {
+			continue
+		}
+		l, err := s.idx.Postings(term)
+		if err != nil {
+			return nil, err
+		}
+		if l.Len() == 0 {
+			return nil, nil
+		}
+		lists = append(lists, l)
+	}
+	if len(lists) == 0 {
+		return nil, nil
+	}
+	// Intersect smallest-first to keep the candidate set minimal.
+	sort.Slice(lists, func(i, j int) bool { return lists[i].Len() < lists[j].Len() })
+	out := append([]uint32(nil), lists[0].DocIDs...)
+	for _, l := range lists[1:] {
+		out = intersect(out, l.DocIDs)
+		if len(out) == 0 {
+			return nil, nil
+		}
+	}
+	return out, nil
+}
+
+// intersect merges two sorted docID slices, galloping through the
+// longer one.
+func intersect(a, b []uint32) []uint32 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := a[:0]
+	for _, doc := range a {
+		i := sort.Search(len(b), func(i int) bool { return b[i] >= doc })
+		if i < len(b) && b[i] == doc {
+			out = append(out, doc)
+		}
+		b = b[i:]
+	}
+	return out
+}
+
+// Or returns the docIDs containing any word, in ascending order.
+func (s *Searcher) Or(words ...string) ([]uint32, error) {
+	seen := map[uint32]struct{}{}
+	for _, w := range words {
+		l, err := s.Postings(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, doc := range l.DocIDs {
+			seen[doc] = struct{}{}
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for doc := range seen {
+		out = append(out, doc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Phrase returns the docIDs containing the words as a phrase: each
+// non-stop word at its original token offset relative to the others
+// (stop words inside the phrase are skipped but still occupy a
+// position, the standard convention). Requires a positional index.
+func (s *Searcher) Phrase(words ...string) ([]uint32, error) {
+	type part struct {
+		offset uint32
+		list   *postings.List
+	}
+	var parts []part
+	for i, w := range words {
+		term, stop := s.Normalize(w)
+		if stop || term == "" {
+			continue
+		}
+		l, err := s.idx.Postings(term)
+		if err != nil {
+			return nil, err
+		}
+		if l.Len() == 0 {
+			return nil, nil
+		}
+		if !l.Positional() {
+			return nil, fmt.Errorf("search: phrase queries need a positional index (Options.Positional)")
+		}
+		parts = append(parts, part{uint32(i), l})
+	}
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	if len(parts) == 1 {
+		return append([]uint32(nil), parts[0].list.DocIDs...), nil
+	}
+
+	// Anchor on the first part; every candidate position p must have
+	// p + (offset_k - offset_0) present in part k's positions.
+	anchor := parts[0]
+	var out []uint32
+	for i, doc := range anchor.list.DocIDs {
+		otherPos := make([][]uint32, 0, len(parts)-1)
+		ok := true
+		for _, pk := range parts[1:] {
+			j := sort.Search(len(pk.list.DocIDs), func(j int) bool {
+				return pk.list.DocIDs[j] >= doc
+			})
+			if j >= len(pk.list.DocIDs) || pk.list.DocIDs[j] != doc {
+				ok = false
+				break
+			}
+			otherPos = append(otherPos, pk.list.Positions[j])
+		}
+		if !ok {
+			continue
+		}
+	scan:
+		for _, p := range anchor.list.Positions[i] {
+			for k, pk := range parts[1:] {
+				want := p + pk.offset - anchor.offset
+				ps := otherPos[k]
+				j := sort.Search(len(ps), func(j int) bool { return ps[j] >= want })
+				if j >= len(ps) || ps[j] != want {
+					continue scan
+				}
+			}
+			out = append(out, doc)
+			break
+		}
+	}
+	return out, nil
+}
+
+// MatchPrefix returns up to limit indexed terms starting with the
+// given prefix, in lexicographic order — the dictionary's front-coded
+// (collection, term) layout keeps same-prefix terms adjacent, so the
+// scan is a binary search per candidate collection.
+func (s *Searcher) MatchPrefix(prefix string, limit int) []string {
+	if limit <= 0 {
+		return nil
+	}
+	var out []string
+	seen := map[string]struct{}{}
+	for _, e := range s.idx.Dictionary() {
+		if len(e.Term) >= len(prefix) && e.Term[:len(prefix)] == prefix {
+			if _, dup := seen[e.Term]; dup {
+				continue
+			}
+			seen[e.Term] = struct{}{}
+			out = append(out, e.Term)
+		}
+	}
+	sort.Strings(out)
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// ScoredDoc is one ranked result.
+type ScoredDoc struct {
+	Doc   uint32
+	Score float64
+}
+
+// TopK ranks documents matching any query word. With document lengths
+// in the index, the score is BM25:
+//
+//	idf(t) * tf*(k1+1) / (tf + k1*(1-b+b*len(d)/avglen))
+//
+// otherwise plain TF-IDF (tf * ln(1+N/df)). Results are sorted by
+// descending score, ties by ascending docID.
+func (s *Searcher) TopK(k int, words ...string) ([]ScoredDoc, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("search: k must be positive")
+	}
+	scores := map[uint32]float64{}
+	for _, w := range words {
+		l, err := s.Postings(w)
+		if err != nil {
+			return nil, err
+		}
+		if l.Len() == 0 {
+			continue
+		}
+		df := float64(l.Len())
+		if s.UsesBM25() {
+			idf := math.Log(1 + (float64(s.numDocs)-df+0.5)/(df+0.5))
+			for i, doc := range l.DocIDs {
+				tf := float64(l.TFs[i])
+				norm := 1 - bm25B
+				if int(doc) < len(s.docLens) {
+					norm += bm25B * float64(s.docLens[doc]) / s.avgLen
+				} else {
+					norm += bm25B
+				}
+				scores[doc] += idf * tf * (bm25K1 + 1) / (tf + bm25K1*norm)
+			}
+			continue
+		}
+		idf := math.Log(1 + float64(s.numDocs)/df)
+		for i, doc := range l.DocIDs {
+			scores[doc] += float64(l.TFs[i]) * idf
+		}
+	}
+	h := &docHeap{}
+	heap.Init(h)
+	for doc, score := range scores {
+		heap.Push(h, ScoredDoc{doc, score})
+		if h.Len() > k {
+			heap.Pop(h)
+		}
+	}
+	out := make([]ScoredDoc, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(ScoredDoc)
+	}
+	return out, nil
+}
+
+// docHeap is a min-heap by (score, then reversed docID) so the weakest
+// kept result is on top and pops yield ascending relevance.
+type docHeap []ScoredDoc
+
+func (h docHeap) Len() int { return len(h) }
+func (h docHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].Doc > h[j].Doc
+}
+func (h docHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *docHeap) Push(x interface{}) { *h = append(*h, x.(ScoredDoc)) }
+func (h *docHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

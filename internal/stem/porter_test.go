@@ -1,0 +1,196 @@
+package stem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Known input/output pairs from Porter's published examples and the
+// reference implementation's vocabulary.
+var porterCases = map[string]string{
+	// The paper's own motivating example (§II): parallel variants.
+	"parallelize":     "parallel",
+	"parallelism":     "parallel",
+	"parallel":        "parallel",
+	"caresses":        "caress",
+	"ponies":          "poni",
+	"ties":            "ti",
+	"caress":          "caress",
+	"cats":            "cat",
+	"feed":            "feed",
+	"agreed":          "agre",
+	"plastered":       "plaster",
+	"bled":            "bled",
+	"motoring":        "motor",
+	"sing":            "sing",
+	"conflated":       "conflat",
+	"troubled":        "troubl",
+	"sized":           "size",
+	"hopping":         "hop",
+	"tanned":          "tan",
+	"falling":         "fall",
+	"hissing":         "hiss",
+	"fizzed":          "fizz",
+	"failing":         "fail",
+	"filing":          "file",
+	"happy":           "happi",
+	"sky":             "sky",
+	"relational":      "relat",
+	"conditional":     "condit",
+	"rational":        "ration",
+	"valenci":         "valenc",
+	"hesitanci":       "hesit",
+	"digitizer":       "digit",
+	"conformabli":     "conform",
+	"radicalli":       "radic",
+	"differentli":     "differ",
+	"vileli":          "vile",
+	"analogousli":     "analog",
+	"vietnamization":  "vietnam",
+	"predication":     "predic",
+	"operator":        "oper",
+	"feudalism":       "feudal",
+	"decisiveness":    "decis",
+	"hopefulness":     "hope",
+	"callousness":     "callous",
+	"formaliti":       "formal",
+	"sensitiviti":     "sensit",
+	"sensibiliti":     "sensibl",
+	"triplicate":      "triplic",
+	"formative":       "form",
+	"formalize":       "formal",
+	"electriciti":     "electr",
+	"electrical":      "electr",
+	"hopeful":         "hope",
+	"goodness":        "good",
+	"revival":         "reviv",
+	"allowance":       "allow",
+	"inference":       "infer",
+	"airliner":        "airlin",
+	"gyroscopic":      "gyroscop",
+	"adjustable":      "adjust",
+	"defensible":      "defens",
+	"irritant":        "irrit",
+	"replacement":     "replac",
+	"adjustment":      "adjust",
+	"dependent":       "depend",
+	"adoption":        "adopt",
+	"homologou":       "homolog",
+	"communism":       "commun",
+	"activate":        "activ",
+	"angulariti":      "angular",
+	"homologous":      "homolog",
+	"effective":       "effect",
+	"bowdlerize":      "bowdler",
+	"probate":         "probat",
+	"rate":            "rate",
+	"cease":           "ceas",
+	"controll":        "control",
+	"roll":            "roll",
+	"generalizations": "gener",
+	"oscillators":     "oscil",
+}
+
+func TestPorterKnownVocabulary(t *testing.T) {
+	for in, want := range porterCases {
+		if got := StemString(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPorterGuards(t *testing.T) {
+	for _, w := range []string{"", "a", "at", "do"} {
+		if got := StemString(w); got != w {
+			t.Errorf("short word %q changed to %q", w, got)
+		}
+	}
+	// Non-alphabetic content passes through untouched.
+	for _, w := range []string{"c3po", "1234", "hello-world", "caf\xc3\xa9s"} {
+		if got := StemString(w); got != w {
+			t.Errorf("non-alpha %q changed to %q", w, got)
+		}
+	}
+}
+
+func TestPorterInPlaceNoAlloc(t *testing.T) {
+	buf := []byte("generalizations")
+	out := Stem(buf)
+	if &buf[0] != &out[0] {
+		t.Error("Stem must operate in place on the input buffer")
+	}
+	if string(out) != "gener" {
+		t.Errorf("got %q", out)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		word := buf[:0]
+		word = append(word, "parallelization"...)
+		Stem(word)
+	})
+	if allocs > 0 {
+		t.Errorf("Stem allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestPorterIdempotentOnStems(t *testing.T) {
+	// Stemming an already-stemmed token is usually a fixed point for
+	// dictionary purposes; verify for our known stems that a second
+	// application yields a stable result (double application equals
+	// triple application).
+	for _, want := range porterCases {
+		twice := StemString(want)
+		thrice := StemString(twice)
+		if twice != thrice {
+			t.Errorf("stem not stable: %q -> %q -> %q", want, twice, thrice)
+		}
+	}
+}
+
+func TestPorterNeverGrowsQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		word := make([]byte, 0, len(raw))
+		for _, c := range raw {
+			word = append(word, 'a'+c%26)
+		}
+		orig := string(word)
+		out := Stem(word)
+		return len(out) <= len(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPorterOutputAlphabeticQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		word := make([]byte, 0, len(raw))
+		for _, c := range raw {
+			word = append(word, 'a'+c%26)
+		}
+		out := Stem(word)
+		for _, c := range out {
+			if c < 'a' || c > 'z' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPorterStem(b *testing.B) {
+	words := [][]byte{
+		[]byte("parallelization"), []byte("generalizations"),
+		[]byte("the"), []byte("indexing"), []byte("throughput"),
+		[]byte("heterogeneous"), []byte("dictionaries"),
+	}
+	buf := make([]byte, 0, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := words[i%len(words)]
+		buf = append(buf[:0], w...)
+		Stem(buf)
+	}
+}

@@ -1,0 +1,75 @@
+// Package stopwords provides the stop-word filter applied as Step 4 of
+// every parse (Fig. 3). The default list is the classical SMART-derived
+// English list used by most IR systems; callers may build custom sets.
+package stopwords
+
+// Set is a stop-word membership filter over lowercase terms. The zero
+// value is an empty set that drops nothing.
+type Set struct {
+	words map[string]struct{}
+}
+
+// NewSet builds a Set from the given lowercase words.
+func NewSet(words []string) *Set {
+	s := &Set{words: make(map[string]struct{}, len(words))}
+	for _, w := range words {
+		s.words[w] = struct{}{}
+	}
+	return s
+}
+
+// Default returns the standard English stop-word set.
+func Default() *Set { return defaultSet }
+
+// Contains reports whether the term is a stop word. It accepts a byte
+// slice so the parser hot loop does not allocate; the compiler elides
+// the string conversion in map lookups.
+func (s *Set) Contains(term []byte) bool {
+	if s == nil || s.words == nil {
+		return false
+	}
+	_, ok := s.words[string(term)]
+	return ok
+}
+
+// ContainsString reports whether the term is a stop word.
+func (s *Set) ContainsString(term string) bool {
+	if s == nil || s.words == nil {
+		return false
+	}
+	_, ok := s.words[term]
+	return ok
+}
+
+// Len reports the number of stop words in the set.
+func (s *Set) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.words)
+}
+
+var defaultSet = NewSet(defaultWords)
+
+// defaultWords is the classical English stop-word list (the van
+// Rijsbergen / SMART core plus the contractions every engine drops).
+var defaultWords = []string{
+	"a", "about", "above", "after", "again", "against", "all", "am",
+	"an", "and", "any", "are", "aren", "as", "at", "be", "because",
+	"been", "before", "being", "below", "between", "both", "but", "by",
+	"can", "cannot", "could", "couldn", "did", "didn", "do", "does",
+	"doesn", "doing", "don", "down", "during", "each", "few", "for",
+	"from", "further", "had", "hadn", "has", "hasn", "have", "haven",
+	"having", "he", "her", "here", "hers", "herself", "him", "himself",
+	"his", "how", "i", "if", "in", "into", "is", "isn", "it", "its",
+	"itself", "just", "me", "more", "most", "mustn", "my", "myself",
+	"no", "nor", "not", "now", "of", "off", "on", "once", "only", "or",
+	"other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+	"same", "shan", "she", "should", "shouldn", "so", "some", "such",
+	"than", "that", "the", "their", "theirs", "them", "themselves",
+	"then", "there", "these", "they", "this", "those", "through", "to",
+	"too", "under", "until", "up", "very", "was", "wasn", "we", "were",
+	"weren", "what", "when", "where", "which", "while", "who", "whom",
+	"why", "will", "with", "won", "would", "wouldn", "you", "your",
+	"yours", "yourself", "yourselves",
+}

@@ -1,0 +1,57 @@
+package stopwords
+
+import "testing"
+
+func TestDefaultContainsPaperExamples(t *testing.T) {
+	// §II names "the", "to", "and" as the canonical stop words.
+	for _, w := range []string{"the", "to", "and"} {
+		if !Default().Contains([]byte(w)) {
+			t.Errorf("default set missing %q", w)
+		}
+	}
+}
+
+func TestDefaultExcludesContentTerms(t *testing.T) {
+	for _, w := range []string{"parallel", "index", "gpu", "zzz", ""} {
+		if Default().Contains([]byte(w)) {
+			t.Errorf("default set wrongly contains %q", w)
+		}
+	}
+}
+
+func TestNilAndEmptySet(t *testing.T) {
+	var s *Set
+	if s.Contains([]byte("the")) {
+		t.Error("nil set must contain nothing")
+	}
+	if s.Len() != 0 {
+		t.Error("nil set length must be 0")
+	}
+	var zero Set
+	if zero.Contains([]byte("the")) {
+		t.Error("zero set must contain nothing")
+	}
+}
+
+func TestCustomSet(t *testing.T) {
+	s := NewSet([]string{"foo", "bar"})
+	if !s.ContainsString("foo") || !s.ContainsString("bar") {
+		t.Error("custom set missing members")
+	}
+	if s.ContainsString("the") {
+		t.Error("custom set should not include defaults")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestContainsDoesNotAllocate(t *testing.T) {
+	term := []byte("the")
+	allocs := testing.AllocsPerRun(100, func() {
+		Default().Contains(term)
+	})
+	if allocs > 0 {
+		t.Errorf("Contains allocated %.1f times per run, want 0", allocs)
+	}
+}

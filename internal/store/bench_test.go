@@ -1,0 +1,103 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchLists(n int) (colls []int, slots []int32, docs [][]uint32, tfs [][]uint32) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < n; i++ {
+		colls = append(colls, rng.Intn(17613))
+		slots = append(slots, int32(i))
+		m := 1 + rng.Intn(64)
+		d := make([]uint32, m)
+		f := make([]uint32, m)
+		cur := uint32(0)
+		for j := 0; j < m; j++ {
+			cur += uint32(rng.Intn(100)) + 1
+			d[j] = cur
+			f[j] = uint32(rng.Intn(8)) + 1
+		}
+		docs = append(docs, d)
+		tfs = append(tfs, f)
+	}
+	return
+}
+
+func BenchmarkRunBuild(b *testing.B) {
+	colls, slots, docs, tfs := benchLists(2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb := NewRunBuilder()
+		for j := range colls {
+			if err := rb.AddList(colls[j], slots[j], docs[j], tfs[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rb.Finalize(0, 1<<30)
+	}
+}
+
+func BenchmarkRunParse(b *testing.B) {
+	colls, slots, docs, tfs := benchLists(2000)
+	rb := NewRunBuilder()
+	for j := range colls {
+		rb.AddList(colls[j], slots[j], docs[j], tfs[j])
+	}
+	data := rb.Finalize(0, 1<<30)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRun(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDictionaryWrite(b *testing.B) {
+	var entries []DictEntry
+	for i := 0; i < 5000; i++ {
+		entries = append(entries, DictEntry{
+			Term:       fmt.Sprintf("term%06d", i),
+			Collection: int32(i % 17613),
+			Slot:       int32(i),
+		})
+	}
+	SortDictEntries(entries)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteDictionary(&buf, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDictionaryRead(b *testing.B) {
+	var entries []DictEntry
+	for i := 0; i < 5000; i++ {
+		entries = append(entries, DictEntry{
+			Term:       fmt.Sprintf("term%06d", i),
+			Collection: int32(i % 17613),
+			Slot:       int32(i),
+		})
+	}
+	SortDictEntries(entries)
+	var buf bytes.Buffer
+	WriteDictionary(&buf, entries)
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadDictionary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestRunFormatGolden pins the on-disk run format: any change to the
+// layout (header, entry size, flags, codec) must be deliberate — it
+// breaks every existing index — and shows up here as a hash change.
+func TestRunFormatGolden(t *testing.T) {
+	b := NewRunBuilder()
+	if err := b.AddList(37, 0, []uint32{1, 5, 130}, []uint32{2, 1, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPositionalList(442, 3,
+		[]uint32{9, 300}, []uint32{2, 1}, [][]uint32{{0, 128}, {4}}); err != nil {
+		t.Fatal(err)
+	}
+	data := b.Finalize(1, 300)
+	sum := sha256.Sum256(data)
+	const want = "549628fac6fa6c3965779c96499ae725eecea455d8c560de1cb912579c0efbb8"
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Errorf("run format changed: sha256 = %s, want %s (update deliberately)", got, want)
+	}
+}
+
+// TestDictFormatGolden pins the front-coded dictionary format.
+func TestDictFormatGolden(t *testing.T) {
+	entries := []DictEntry{
+		{"0195", 1, 0},
+		{"apple", 11, 2},
+		{"application", 442, 0},
+		{"applied", 442, 1},
+	}
+	SortDictEntries(entries)
+	var buf bytes.Buffer
+	if err := WriteDictionary(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	const want = "452b9d02782e0db03d485b315ef05933ce9b474a6339e6d97a41b444d4844126"
+	if got := hex.EncodeToString(sum[:]); got != want {
+		t.Errorf("dictionary format changed: sha256 = %s, want %s", got, want)
+	}
+}

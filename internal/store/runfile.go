@@ -1,0 +1,233 @@
+// Package store implements the paper's output formats (§III.F): one
+// postings file per run whose header is a mapping table locating each
+// partial postings list, an auxiliary file mapping document-ID ranges
+// to run files, a front-coded dictionary written once at the end, and
+// the optional post-processing merge that combines partial lists into
+// a monolithic postings file.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"fastinvert/internal/encoding"
+)
+
+// Run-file layout (little-endian):
+//
+//	magic  u32  'FIRN'
+//	ver    u32
+//	nLists u32
+//	first  u32  first global docID covered by this run
+//	last   u32  last global docID covered
+//	crc    u32  IEEE CRC-32 of table + blob
+//	table  nLists x { coll u32, slot u32, off u64, len u32, count u32,
+//	                  flags u32 }
+//	blob   gap+varbyte-encoded postings (encoding.EncodePostings, or
+//	       encoding.EncodePositionalPostings when FlagPositional)
+const (
+	runMagic   = 0x4652494e // "FRIN"
+	runVersion = 3
+	runHdrSize = 24
+	entrySize  = 28
+)
+
+// Entry flags.
+const (
+	// FlagPositional marks a list encoded with in-document positions.
+	FlagPositional uint32 = 1 << 0
+)
+
+// RunEntry locates one partial postings list inside a run file.
+type RunEntry struct {
+	Collection uint32
+	Slot       uint32
+	Offset     uint64
+	Length     uint32
+	Count      uint32
+	Flags      uint32
+}
+
+// RunBuilder accumulates one run's partial postings lists.
+type RunBuilder struct {
+	entries []RunEntry
+	blob    []byte
+}
+
+// NewRunBuilder returns an empty builder.
+func NewRunBuilder() *RunBuilder { return &RunBuilder{} }
+
+// AddList appends one term's partial list (parallel docID/tf slices,
+// strictly ascending docIDs). Empty lists are skipped.
+func (b *RunBuilder) AddList(collection int, slot int32, docIDs, tfs []uint32) error {
+	if len(docIDs) == 0 {
+		return nil
+	}
+	off := uint64(len(b.blob))
+	blob, err := encoding.EncodePostings(b.blob, docIDs, tfs)
+	if err != nil {
+		return fmt.Errorf("store: list (%d,%d): %w", collection, slot, err)
+	}
+	b.blob = blob
+	b.entries = append(b.entries, RunEntry{
+		Collection: uint32(collection),
+		Slot:       uint32(slot),
+		Offset:     off,
+		Length:     uint32(uint64(len(b.blob)) - off),
+		Count:      uint32(len(docIDs)),
+	})
+	return nil
+}
+
+// AddPositionalList appends one term's positional partial list.
+func (b *RunBuilder) AddPositionalList(collection int, slot int32, docIDs, tfs []uint32, positions [][]uint32) error {
+	if len(docIDs) == 0 {
+		return nil
+	}
+	off := uint64(len(b.blob))
+	blob, err := encoding.EncodePositionalPostings(b.blob, docIDs, tfs, positions)
+	if err != nil {
+		return fmt.Errorf("store: positional list (%d,%d): %w", collection, slot, err)
+	}
+	b.blob = blob
+	b.entries = append(b.entries, RunEntry{
+		Collection: uint32(collection),
+		Slot:       uint32(slot),
+		Offset:     off,
+		Length:     uint32(uint64(len(b.blob)) - off),
+		Count:      uint32(len(docIDs)),
+		Flags:      FlagPositional,
+	})
+	return nil
+}
+
+// Lists reports how many lists have been added.
+func (b *RunBuilder) Lists() int { return len(b.entries) }
+
+// Finalize serializes the run covering the global docID range
+// [firstDoc, lastDoc].
+func (b *RunBuilder) Finalize(firstDoc, lastDoc uint32) []byte {
+	out := make([]byte, 0, runHdrSize+len(b.entries)*entrySize+len(b.blob))
+	var u32 [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		out = append(out, u32[:]...)
+	}
+	put32(runMagic)
+	put32(runVersion)
+	put32(uint32(len(b.entries)))
+	put32(firstDoc)
+	put32(lastDoc)
+	put32(0) // crc placeholder
+	var u64 [8]byte
+	for _, e := range b.entries {
+		put32(e.Collection)
+		put32(e.Slot)
+		binary.LittleEndian.PutUint64(u64[:], e.Offset)
+		out = append(out, u64[:]...)
+		put32(e.Length)
+		put32(e.Count)
+		put32(e.Flags)
+	}
+	out = append(out, b.blob...)
+	binary.LittleEndian.PutUint32(out[20:], crc32.ChecksumIEEE(out[runHdrSize:]))
+	return out
+}
+
+// Run is a parsed run file.
+type Run struct {
+	FirstDoc uint32
+	LastDoc  uint32
+	Entries  []RunEntry
+	blob     []byte
+
+	lookup map[uint64]int // (coll<<32|slot) -> entry index
+}
+
+// ErrCorruptRun reports a malformed run file.
+var ErrCorruptRun = errors.New("store: corrupt run file")
+
+// ParseRun decodes a run file produced by RunBuilder.Finalize.
+func ParseRun(data []byte) (*Run, error) {
+	if len(data) < runHdrSize {
+		return nil, ErrCorruptRun
+	}
+	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
+	if get32(0) != runMagic || get32(4) != runVersion {
+		return nil, ErrCorruptRun
+	}
+	if crc32.ChecksumIEEE(data[runHdrSize:]) != get32(20) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptRun)
+	}
+	n := int(get32(8))
+	// The count is untrusted: bound it by the bytes available for the
+	// table before allocating anything proportional to it.
+	if n < 0 || runHdrSize+n*entrySize > len(data) {
+		return nil, ErrCorruptRun
+	}
+	r := &Run{
+		FirstDoc: get32(12),
+		LastDoc:  get32(16),
+		Entries:  make([]RunEntry, n),
+		lookup:   make(map[uint64]int, n),
+	}
+	tableEnd := runHdrSize + n*entrySize
+	r.blob = data[tableEnd:]
+	for i := 0; i < n; i++ {
+		off := runHdrSize + i*entrySize
+		e := RunEntry{
+			Collection: get32(off),
+			Slot:       get32(off + 4),
+			Offset:     binary.LittleEndian.Uint64(data[off+8:]),
+			Length:     get32(off + 16),
+			Count:      get32(off + 20),
+			Flags:      get32(off + 24),
+		}
+		if e.Offset+uint64(e.Length) > uint64(len(r.blob)) {
+			return nil, ErrCorruptRun
+		}
+		// Every posting takes at least two encoded bytes (gap + tf),
+		// so a count above Length/2 cannot be real — reject before a
+		// decoder trusts it for allocation.
+		if uint64(e.Count)*2 > uint64(e.Length) {
+			return nil, ErrCorruptRun
+		}
+		r.Entries[i] = e
+		r.lookup[uint64(e.Collection)<<32|uint64(e.Slot)] = i
+	}
+	return r, nil
+}
+
+// List decodes the partial list for (collection, slot); ok is false
+// when this run holds no postings for the term. Positions of
+// positional lists are decoded and discarded; use PositionalList to
+// keep them.
+func (r *Run) List(collection int, slot int32) (docIDs, tfs []uint32, ok bool, err error) {
+	docIDs, tfs, _, ok, err = r.PositionalList(collection, slot)
+	return docIDs, tfs, ok, err
+}
+
+// PositionalList decodes the partial list with positions (nil
+// positions for non-positional entries).
+func (r *Run) PositionalList(collection int, slot int32) (docIDs, tfs []uint32, positions [][]uint32, ok bool, err error) {
+	i, found := r.lookup[uint64(uint32(collection))<<32|uint64(uint32(slot))]
+	if !found {
+		return nil, nil, nil, false, nil
+	}
+	e := r.Entries[i]
+	blob := r.blob[e.Offset : e.Offset+uint64(e.Length)]
+	if e.Flags&FlagPositional != 0 {
+		docIDs, tfs, positions, _, err = encoding.DecodePositionalPostings(blob, int(e.Count))
+	} else {
+		docIDs, tfs, _, err = encoding.DecodePostings(blob, int(e.Count))
+	}
+	if err != nil {
+		return nil, nil, nil, false, fmt.Errorf("store: %w", err)
+	}
+	return docIDs, tfs, positions, true, nil
+}
+
+// BlobSize reports the compressed postings bytes in the run.
+func (r *Run) BlobSize() int { return len(r.blob) }

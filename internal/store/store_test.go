@@ -1,0 +1,395 @@
+package store
+
+import (
+	"bytes"
+	"hash/crc32"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"fastinvert/internal/trie"
+)
+
+func crc32ChecksumForTest(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+func putU32At(b []byte, off int, v uint32) {
+	b[off] = byte(v)
+	b[off+1] = byte(v >> 8)
+	b[off+2] = byte(v >> 16)
+	b[off+3] = byte(v >> 24)
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	b := NewRunBuilder()
+	if err := b.AddList(5, 0, []uint32{1, 7, 9}, []uint32{2, 1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddList(5, 1, []uint32{3}, []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddList(17612, 9, []uint32{100, 200}, []uint32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddList(6, 0, nil, nil); err != nil {
+		t.Fatal(err) // empty list: skipped silently
+	}
+	if b.Lists() != 3 {
+		t.Fatalf("Lists = %d, want 3", b.Lists())
+	}
+	data := b.Finalize(1, 200)
+	run, err := ParseRun(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.FirstDoc != 1 || run.LastDoc != 200 {
+		t.Errorf("doc range = [%d,%d]", run.FirstDoc, run.LastDoc)
+	}
+	docIDs, tfs, ok, err := run.List(5, 0)
+	if err != nil || !ok {
+		t.Fatalf("List(5,0): %v ok=%v", err, ok)
+	}
+	if len(docIDs) != 3 || docIDs[2] != 9 || tfs[2] != 5 {
+		t.Errorf("List(5,0) = %v/%v", docIDs, tfs)
+	}
+	if _, _, ok, _ := run.List(6, 0); ok {
+		t.Error("empty list should be absent")
+	}
+	if _, _, ok, _ := run.List(99, 99); ok {
+		t.Error("unknown list should be absent")
+	}
+}
+
+func TestRunRejectsCorruption(t *testing.T) {
+	b := NewRunBuilder()
+	b.AddList(1, 0, []uint32{1}, []uint32{1})
+	data := b.Finalize(1, 1)
+	if _, err := ParseRun(data[:10]); err == nil {
+		t.Error("truncated header must fail")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] ^= 0xFF
+	if _, err := ParseRun(bad); err == nil {
+		t.Error("bad magic must fail")
+	}
+	short := append([]byte(nil), data[:len(data)-1]...)
+	if _, err := ParseRun(short); err == nil {
+		t.Error("truncated blob must fail")
+	}
+}
+
+// TestHostileHeadersDoNotAllocate covers the fuzzer-found
+// denial-of-service inputs: headers declaring absurd counts must be
+// rejected before any proportional allocation.
+func TestHostileHeadersDoNotAllocate(t *testing.T) {
+	// Run file claiming 4 billion entries in 24 bytes of data.
+	hostile := make([]byte, runHdrSize)
+	putU32 := func(off int, v uint32) {
+		hostile[off] = byte(v)
+		hostile[off+1] = byte(v >> 8)
+		hostile[off+2] = byte(v >> 16)
+		hostile[off+3] = byte(v >> 24)
+	}
+	putU32(0, runMagic)
+	putU32(4, runVersion)
+	putU32(8, 0xFFFFFFFF) // entry count
+	if _, err := ParseRun(hostile); err == nil {
+		t.Error("hostile run header must be rejected")
+	}
+
+	// Entry whose Count is impossible for its Length.
+	b := NewRunBuilder()
+	b.AddList(1, 0, []uint32{1}, []uint32{1})
+	data := b.Finalize(0, 1)
+	// Count field of entry 0 lives at runHdrSize+20.
+	data[runHdrSize+20] = 0xFF
+	data[runHdrSize+21] = 0xFF
+	// Recompute CRC so only the count check can reject.
+	crc := crc32ChecksumForTest(data[runHdrSize:])
+	putU32At(data, 20, crc)
+	if _, err := ParseRun(data); err == nil {
+		t.Error("impossible Count must be rejected")
+	}
+}
+
+func TestRunBuilderRejectsUnsorted(t *testing.T) {
+	b := NewRunBuilder()
+	if err := b.AddList(1, 0, []uint32{5, 5}, []uint32{1, 1}); err == nil {
+		t.Error("unsorted docIDs must fail")
+	}
+}
+
+func TestDictionaryRoundTrip(t *testing.T) {
+	entries := []DictEntry{
+		{"-80", 0, 0},
+		{"0195", 1, 0},
+		{"apple", 11, 3},
+		{"applic", 37 + 0*676 + 15*26 + 15, 0}, // "app"-prefixed
+		{"parallel", trieIdx("parallel"), 7},
+		{"paralleliz", trieIdx("paralleliz"), 8},
+	}
+	SortDictEntries(entries)
+	var buf bytes.Buffer
+	if err := WriteDictionary(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	if got := FrontCodedSize(entries); got != buf.Len() {
+		t.Errorf("FrontCodedSize = %d, actual %d", got, buf.Len())
+	}
+	back, err := ReadDictionary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("read %d entries, want %d", len(back), len(entries))
+	}
+	for i := range entries {
+		if back[i] != entries[i] {
+			t.Errorf("entry %d = %+v, want %+v", i, back[i], entries[i])
+		}
+	}
+}
+
+func trieIdx(s string) int32 { return int32(trie.IndexString(s)) }
+
+// TestHostileDictionaryHeader covers the fuzzer-found OOM: a
+// dictionary header claiming billions of terms over a few bytes.
+func TestHostileDictionaryHeader(t *testing.T) {
+	hostile := []byte("CDIF\x01\x00\x00\x00\x05apple\v\xef\x04\x03\xef")
+	if _, err := ReadDictionary(bytes.NewReader(hostile)); err == nil {
+		t.Error("hostile dictionary must be rejected")
+	}
+}
+
+func TestDictionaryOrderEnforced(t *testing.T) {
+	entries := []DictEntry{{"zebra", 5, 0}, {"apple", 5, 1}}
+	var buf bytes.Buffer
+	if err := WriteDictionary(&buf, entries); err == nil {
+		t.Error("out-of-order dictionary must be rejected")
+	}
+}
+
+func TestDictionaryFrontCodingCompresses(t *testing.T) {
+	// Terms sharing long prefixes should compress well.
+	var entries []DictEntry
+	raw := 0
+	for i := 0; i < 200; i++ {
+		term := "paralleliz" + string(rune('a'+i%26)) + string(rune('a'+i/26))
+		entries = append(entries, DictEntry{term, trieIdx(term), int32(i)})
+		raw += len(term)
+	}
+	SortDictEntries(entries)
+	size := FrontCodedSize(entries)
+	if size >= raw {
+		t.Errorf("front-coded %d >= raw %d", size, raw)
+	}
+}
+
+func TestDictionaryQuickRoundTrip(t *testing.T) {
+	f := func(words [][]byte) bool {
+		seen := map[string]bool{}
+		var entries []DictEntry
+		for i, w := range words {
+			term := make([]byte, 0, len(w))
+			for _, c := range w {
+				term = append(term, 'a'+c%26)
+			}
+			if len(term) == 0 || seen[string(term)] {
+				continue
+			}
+			seen[string(term)] = true
+			entries = append(entries, DictEntry{string(term), trieIdx(string(term)), int32(i)})
+		}
+		SortDictEntries(entries)
+		var buf bytes.Buffer
+		if err := WriteDictionary(&buf, entries); err != nil {
+			return false
+		}
+		back, err := ReadDictionary(&buf)
+		if err != nil || len(back) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if back[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexWriterReaderEndToEnd(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "idx")
+	w, err := NewIndexWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	termColl := trieIdx("zebra")
+
+	// Run 0: docs 0-9; run 1: docs 10-19.
+	b0 := NewRunBuilder()
+	b0.AddList(int(termColl), 4, []uint32{1, 5}, []uint32{2, 1})
+	if err := w.WriteRun(b0, 0, 9); err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewRunBuilder()
+	b1.AddList(int(termColl), 4, []uint32{12, 19}, []uint32{1, 3})
+	if err := w.WriteRun(b1, 10, 19); err != nil {
+		t.Fatal(err)
+	}
+	dict := []DictEntry{{"zebra", termColl, 4}}
+	SortDictEntries(dict)
+	if err := w.Finish(dict); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(dict); err == nil {
+		t.Error("double Finish must fail")
+	}
+
+	r, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Terms() != 1 || len(r.Runs()) != 2 {
+		t.Fatalf("Terms=%d Runs=%d", r.Terms(), len(r.Runs()))
+	}
+	l, err := r.Postings("zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDocs := []uint32{1, 5, 12, 19}
+	if l.Len() != 4 {
+		t.Fatalf("postings = %v", l.DocIDs)
+	}
+	for i, d := range wantDocs {
+		if l.DocIDs[i] != d {
+			t.Errorf("doc[%d] = %d, want %d", i, l.DocIDs[i], d)
+		}
+	}
+	// Range query touching only run 1.
+	lr, err := r.PostingsRange("zebra", 10, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Len() != 2 || lr.DocIDs[0] != 12 {
+		t.Errorf("range postings = %v", lr.DocIDs)
+	}
+	// Unknown term: empty, no error.
+	empty, err := r.Postings("nosuchterm")
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("unknown term: %v len=%d", err, empty.Len())
+	}
+
+	// Merge produces a single list with all four postings.
+	merged, err := r.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docIDs, tfs, ok, err := merged.List(int(termColl), 4)
+	if err != nil || !ok || len(docIDs) != 4 || tfs[3] != 3 {
+		t.Fatalf("merged list = %v/%v ok=%v err=%v", docIDs, tfs, ok, err)
+	}
+}
+
+func TestPositionalRunRoundTrip(t *testing.T) {
+	b := NewRunBuilder()
+	docs := []uint32{2, 7, 9}
+	tfs := []uint32{2, 1, 3}
+	positions := [][]uint32{{4, 9}, {0}, {1, 5, 700}}
+	if err := b.AddPositionalList(40, 3, docs, tfs, positions); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddList(41, 0, []uint32{1}, []uint32{1}); err != nil {
+		t.Fatal(err) // mixed runs are legal
+	}
+	run, err := ParseRun(b.Finalize(0, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, gt, gp, ok, err := run.PositionalList(40, 3)
+	if err != nil || !ok {
+		t.Fatalf("PositionalList: %v ok=%v", err, ok)
+	}
+	for i := range docs {
+		if gd[i] != docs[i] || gt[i] != tfs[i] {
+			t.Fatalf("posting %d mismatch", i)
+		}
+		for j := range positions[i] {
+			if gp[i][j] != positions[i][j] {
+				t.Fatalf("position [%d][%d] = %d, want %d", i, j, gp[i][j], positions[i][j])
+			}
+		}
+	}
+	// Plain entry has nil positions; List() works on both.
+	_, _, pp, ok, err := run.PositionalList(41, 0)
+	if err != nil || !ok || pp != nil {
+		t.Fatalf("plain entry: %v ok=%v positions=%v", err, ok, pp)
+	}
+	if _, _, ok, _ := run.List(40, 3); !ok {
+		t.Fatal("List must decode positional entries too")
+	}
+	// tf/position mismatch is rejected.
+	bad := NewRunBuilder()
+	if err := bad.AddPositionalList(1, 0, []uint32{1}, []uint32{2}, [][]uint32{{3}}); err == nil {
+		t.Error("tf/positions mismatch must fail")
+	}
+}
+
+func TestRunQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nLists uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewRunBuilder()
+		type ref struct {
+			coll int
+			slot int32
+			docs []uint32
+			tfs  []uint32
+		}
+		var refs []ref
+		used := map[uint64]bool{}
+		for i := 0; i < int(nLists%20)+1; i++ {
+			coll := rng.Intn(trie.NumCollections)
+			slot := int32(rng.Intn(100))
+			k := uint64(coll)<<32 | uint64(slot)
+			if used[k] {
+				continue
+			}
+			used[k] = true
+			n := rng.Intn(30) + 1
+			docs := make([]uint32, n)
+			tfs := make([]uint32, n)
+			cur := uint32(0)
+			for j := 0; j < n; j++ {
+				cur += uint32(rng.Intn(50)) + 1
+				docs[j] = cur
+				tfs[j] = uint32(rng.Intn(9)) + 1
+			}
+			if err := b.AddList(coll, slot, docs, tfs); err != nil {
+				return false
+			}
+			refs = append(refs, ref{coll, slot, docs, tfs})
+		}
+		run, err := ParseRun(b.Finalize(0, 1<<30))
+		if err != nil {
+			return false
+		}
+		for _, rf := range refs {
+			docs, tfs, ok, err := run.List(rf.coll, rf.slot)
+			if err != nil || !ok || len(docs) != len(rf.docs) {
+				return false
+			}
+			for j := range docs {
+				if docs[j] != rf.docs[j] || tfs[j] != rf.tfs[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// VerifyReport summarizes an index integrity check.
+type VerifyReport struct {
+	Runs          int
+	Lists         int
+	Postings      int64
+	Terms         int
+	Docs          int // from the doc table, 0 when absent
+	HasDocLens    bool
+	HasDocTable   bool
+	MergedPresent bool
+}
+
+// Verify checks the structural integrity of a built index directory:
+// every run file parses, every partial list decodes with strictly
+// ascending docIDs inside the run's declared doc range, run doc ranges
+// are disjoint and ascending, every dictionary entry's (collection,
+// slot) appears in at least one run (unless it only occurred in runs
+// that were discarded — impossible for engine-built indexes), the
+// dictionary is canonically ordered, and the optional doc-length/
+// doc-table files are consistent with each other.
+func Verify(dir string) (*VerifyReport, error) {
+	rep := &VerifyReport{}
+	r, err := OpenIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	rep.Terms = r.Terms()
+
+	// Dictionary order and uniqueness.
+	for i := 1; i < len(r.dict); i++ {
+		p, c := r.dict[i-1], r.dict[i]
+		if c.Collection < p.Collection ||
+			(c.Collection == p.Collection && c.Term <= p.Term) {
+			return rep, fmt.Errorf("store: dictionary disorder at entry %d (%q)", i, c.Term)
+		}
+	}
+	known := make(map[uint64]bool, len(r.dict))
+	for _, e := range r.dict {
+		known[uint64(uint32(e.Collection))<<32|uint64(uint32(e.Slot))] = true
+	}
+
+	seen := make(map[uint64]bool, len(r.dict))
+	var prevLast uint32
+	for i, rm := range r.runs {
+		if i > 0 && rm.FirstDoc <= prevLast && !(rm.FirstDoc == 0 && prevLast == 0) {
+			return rep, fmt.Errorf("store: run %s doc range overlaps previous", rm.File)
+		}
+		prevLast = rm.LastDoc
+		run, err := r.run(rm)
+		if err != nil {
+			return rep, err
+		}
+		rep.Runs++
+		for _, e := range run.Entries {
+			docIDs, _, ok, err := run.List(int(e.Collection), int32(e.Slot))
+			if err != nil || !ok {
+				return rep, fmt.Errorf("store: %s list (%d,%d): %v", rm.File, e.Collection, e.Slot, err)
+			}
+			for j, d := range docIDs {
+				if j > 0 && d <= docIDs[j-1] {
+					return rep, fmt.Errorf("store: %s list (%d,%d) unsorted", rm.File, e.Collection, e.Slot)
+				}
+				if d < rm.FirstDoc || d > rm.LastDoc {
+					return rep, fmt.Errorf("store: %s doc %d outside range [%d,%d]",
+						rm.File, d, rm.FirstDoc, rm.LastDoc)
+				}
+			}
+			rep.Lists++
+			rep.Postings += int64(len(docIDs))
+			seen[uint64(e.Collection)<<32|uint64(e.Slot)] = true
+		}
+	}
+	for key := range known {
+		if !seen[key] {
+			return rep, fmt.Errorf("store: dictionary slot (%d,%d) has no postings in any run",
+				uint32(key>>32), uint32(key))
+		}
+	}
+	for key := range seen {
+		if !known[key] {
+			return rep, fmt.Errorf("store: postings for unknown slot (%d,%d)",
+				uint32(key>>32), uint32(key))
+		}
+	}
+
+	// Optional files.
+	rep.HasDocLens = r.docLens != nil
+	rep.HasDocTable = r.docLocs != nil
+	rep.Docs = len(r.docLocs)
+	if rep.HasDocLens && rep.HasDocTable && len(r.docLens) != len(r.docLocs) {
+		return rep, fmt.Errorf("store: doclens (%d) and doctable (%d) disagree",
+			len(r.docLens), len(r.docLocs))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "merged.post")); err == nil {
+		rep.MergedPresent = true
+	}
+	return rep, nil
+}

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fastinvert/internal/trie"
+)
+
+func buildValidIndex(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "idx")
+	w, err := NewIndexWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := int32(trie.IndexString("zebra"))
+	b0 := NewRunBuilder()
+	b0.AddList(int(coll), 0, []uint32{0, 3}, []uint32{1, 2})
+	if err := w.WriteRun(b0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	b1 := NewRunBuilder()
+	b1.AddList(int(coll), 0, []uint32{5, 9}, []uint32{1, 1})
+	if err := w.WriteRun(b1, 5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteDocLens([]uint32{4, 1, 0, 2, 1, 1, 0, 0, 0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteDocTable([]string{"f0", "f1"}, make([]DocLocation, 10)); err != nil {
+		t.Fatal(err)
+	}
+	dict := []DictEntry{{"zebra", coll, 0}}
+	SortDictEntries(dict)
+	if err := w.Finish(dict); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestVerifyCleanIndex(t *testing.T) {
+	dir := buildValidIndex(t)
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 2 || rep.Lists != 2 || rep.Postings != 4 || rep.Terms != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if !rep.HasDocLens || !rep.HasDocTable || rep.Docs != 10 {
+		t.Errorf("optional files not detected: %+v", rep)
+	}
+}
+
+func TestVerifyDetectsOrphanDictionaryEntry(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "idx")
+	w, _ := NewIndexWriter(dir)
+	coll := int32(trie.IndexString("zebra"))
+	b := NewRunBuilder()
+	b.AddList(int(coll), 0, []uint32{1}, []uint32{1})
+	w.WriteRun(b, 0, 4)
+	dict := []DictEntry{{"zebra", coll, 0}, {"zebrb", coll, 1}} // slot 1 has no postings
+	SortDictEntries(dict)
+	w.Finish(dict)
+	if _, err := Verify(dir); err == nil {
+		t.Error("orphan dictionary slot must fail verification")
+	}
+}
+
+func TestVerifyDetectsCorruptRun(t *testing.T) {
+	dir := buildValidIndex(t)
+	// Flip a byte in the middle of a run's blob.
+	path := filepath.Join(dir, "run-00000.post")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x55
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Error("corrupt run blob must fail verification")
+	}
+}
+
+func TestVerifyDetectsDocLensMismatch(t *testing.T) {
+	dir := buildValidIndex(t)
+	w := &IndexWriter{dir: dir}
+	if err := w.WriteDocLens([]uint32{1, 2}); err != nil { // wrong count vs doc table
+		t.Fatal(err)
+	}
+	if _, err := Verify(dir); err == nil {
+		t.Error("doclens/doctable mismatch must fail verification")
+	}
+}
+
+func TestVerifyDetectsOutOfRangeDoc(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "idx")
+	w, _ := NewIndexWriter(dir)
+	coll := int32(trie.IndexString("zebra"))
+	b := NewRunBuilder()
+	b.AddList(int(coll), 0, []uint32{50}, []uint32{1}) // doc 50 outside [0,4]
+	w.WriteRun(b, 0, 4)
+	dict := []DictEntry{{"zebra", coll, 0}}
+	w.Finish(dict)
+	if _, err := Verify(dir); err == nil {
+		t.Error("doc outside run range must fail verification")
+	}
+}

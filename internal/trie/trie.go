@@ -1,0 +1,141 @@
+// Package trie implements the paper's height-3 trie (§III.B, Table I),
+// flattened into a constant lookup table: each term maps to one of
+// 17,613 trie-collection indices, and terms sharing an index share a
+// prefix that the dictionary strips before B-tree insertion.
+//
+// The index layout reproduces Table I exactly:
+//
+//	0                 special terms ("-80", "3d", "česky")
+//	1 .. 10           pure numbers, by first digit '0'..'9'
+//	11 .. 36          terms starting 'a'..'z' that have <= 3 letters
+//	                  or a special byte among the first 3
+//	37 .. 17612       terms with > 3 letters and a pure a-z 3-prefix:
+//	                  37 + (c0-'a')*676 + (c1-'a')*26 + (c2-'a')
+package trie
+
+// NumCollections is the total number of trie-collection indices
+// (1 special + 10 numeric + 26 short/special + 26^3 three-letter).
+const NumCollections = 1 + 10 + 26 + 26*26*26 // 17613
+
+// Boundaries of the index categories (Table I).
+const (
+	IndexSpecial     = 0  // terms that fit no other category
+	FirstNumeric     = 1  // numbers starting with '0'
+	LastNumeric      = 10 // numbers starting with '9'
+	FirstShortLetter = 11 // 'a': short terms or special byte in prefix
+	LastShortLetter  = 36 // 'z'
+	FirstThreeLetter = 37 // "aaa"
+	LastThreeLetter  = NumCollections - 1
+)
+
+// Index maps a term to its trie-collection index. Terms are raw token
+// bytes after case folding; letters are 'a'..'z', digits '0'..'9', and
+// anything else is "special". Empty terms map to IndexSpecial.
+func Index(term []byte) int {
+	if len(term) == 0 {
+		return IndexSpecial
+	}
+	c0 := term[0]
+	switch {
+	case c0 >= '0' && c0 <= '9':
+		for _, c := range term[1:] {
+			if c < '0' || c > '9' {
+				return IndexSpecial
+			}
+		}
+		return FirstNumeric + int(c0-'0')
+	case c0 >= 'a' && c0 <= 'z':
+		if len(term) <= 3 {
+			return FirstShortLetter + int(c0-'a')
+		}
+		c1, c2 := term[1], term[2]
+		if c1 < 'a' || c1 > 'z' || c2 < 'a' || c2 > 'z' {
+			return FirstShortLetter + int(c0-'a')
+		}
+		return FirstThreeLetter +
+			int(c0-'a')*26*26 + int(c1-'a')*26 + int(c2-'a')
+	default:
+		return IndexSpecial
+	}
+}
+
+// IndexString is the string-keyed variant of Index.
+func IndexString(term string) int { return Index([]byte(term)) }
+
+// StripLen reports how many leading bytes of a term in collection idx
+// are captured by the trie and therefore omitted from dictionary
+// storage (§III.B.1): 3 for three-letter collections, 1 for numeric
+// and short-letter collections (shared first byte), 0 for the special
+// collection whose members share nothing.
+func StripLen(idx int) int {
+	switch {
+	case idx >= FirstThreeLetter:
+		return 3
+	case idx >= FirstNumeric:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Prefix reconstructs the prefix bytes implied by a collection index,
+// the inverse of the strip performed on insertion. It returns an empty
+// slice for IndexSpecial.
+func Prefix(idx int) []byte {
+	switch {
+	case idx >= FirstThreeLetter:
+		v := idx - FirstThreeLetter
+		return []byte{
+			byte('a' + v/(26*26)),
+			byte('a' + v/26%26),
+			byte('a' + v%26),
+		}
+	case idx >= FirstShortLetter:
+		return []byte{byte('a' + idx - FirstShortLetter)}
+	case idx >= FirstNumeric:
+		return []byte{byte('0' + idx - FirstNumeric)}
+	default:
+		return nil
+	}
+}
+
+// Strip removes the trie-captured prefix from term for storage in
+// collection idx. The result aliases term's backing array.
+func Strip(idx int, term []byte) []byte {
+	n := StripLen(idx)
+	if n > len(term) {
+		n = len(term)
+	}
+	return term[n:]
+}
+
+// Restore prepends the trie prefix of idx to a stripped term, yielding
+// the original term. It allocates the result.
+func Restore(idx int, stripped []byte) []byte {
+	p := Prefix(idx)
+	out := make([]byte, 0, len(p)+len(stripped))
+	out = append(out, p...)
+	return append(out, stripped...)
+}
+
+// CategoryName describes the Table I row an index belongs to, for
+// diagnostics and reports.
+func CategoryName(idx int) string {
+	switch {
+	case !Valid(idx):
+		return "invalid"
+	case idx == IndexSpecial:
+		return "special"
+	case idx <= LastNumeric:
+		return "numeric"
+	case idx <= LastShortLetter:
+		return "short-or-special-letter"
+	case idx <= LastThreeLetter:
+		return "three-letter"
+	default:
+		return "invalid"
+	}
+}
+
+// Valid reports whether idx is a legal trie-collection index.
+func Valid(idx int) bool { return idx >= 0 && idx < NumCollections }

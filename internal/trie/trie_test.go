@@ -1,0 +1,237 @@
+package trie
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableIExamples checks every example row of Table I.
+func TestTableIExamples(t *testing.T) {
+	cases := []struct {
+		term string
+		want int
+	}{
+		{"-80", IndexSpecial},
+		{"3d", IndexSpecial},
+		{"\xc4\x8cesky", IndexSpecial}, // "Česky" lowercased, multi-byte first rune
+		{"01", 1},
+		{"0195", 1},
+		{"9", 10},
+		{"954", 10},
+		{"a", 11},
+		{"at", 11},
+		{"act", 11},
+		{"afonuevo", 11}, // special letter (ñ) in first 3 letters... see below
+		{"z", 36},
+		{"zoo", 36},
+		{"zo\xc3\xa9", 36}, // "zoé"
+		{"aaat", 37},
+		{"aaa\xc3\xa9", 37}, // "aaaé"
+		{"aabomycin", 38},
+		{"zzzy", 17612},
+	}
+	for _, c := range cases {
+		// Table I writes "añonuevo" with ñ in position 2; encode that.
+		term := c.term
+		if term == "afonuevo" {
+			term = "a\xc3\xb1onuevo"
+		}
+		if got := IndexString(term); got != c.want {
+			t.Errorf("Index(%q) = %d, want %d", term, got, c.want)
+		}
+	}
+}
+
+func TestNumCollections(t *testing.T) {
+	if NumCollections != 17613 {
+		t.Fatalf("NumCollections = %d, want 17613 (Table I)", NumCollections)
+	}
+	if LastThreeLetter != 17612 {
+		t.Fatalf("LastThreeLetter = %d, want 17612", LastThreeLetter)
+	}
+}
+
+func TestIndexCategories(t *testing.T) {
+	cases := []struct {
+		term     string
+		category string
+	}{
+		{"", "special"},
+		{"-", "special"},
+		{"12a", "special"}, // digit first but not a pure number
+		{"7", "numeric"},
+		{"00", "numeric"},
+		{"cat", "short-or-special-letter"},
+		{"c4po", "short-or-special-letter"}, // >3 bytes, digit inside prefix
+		{"down", "three-letter"},
+		{"zzzz", "three-letter"},
+	}
+	for _, c := range cases {
+		idx := IndexString(c.term)
+		if got := CategoryName(idx); got != c.category {
+			t.Errorf("CategoryName(Index(%q)=%d) = %q, want %q",
+				c.term, idx, got, c.category)
+		}
+	}
+	if CategoryName(-1) != "invalid" || CategoryName(NumCollections) != "invalid" {
+		t.Error("out-of-range indices must be invalid")
+	}
+}
+
+func TestThreeLetterIndexFormula(t *testing.T) {
+	// Spot-check the arithmetic across the range.
+	if got := IndexString("aaaa"); got != 37 {
+		t.Errorf("aaaa -> %d, want 37", got)
+	}
+	if got := IndexString("aaba"); got != 38 {
+		t.Errorf("aab* -> %d, want 38", got)
+	}
+	if got := IndexString("abaa"); got != 37+26 {
+		t.Errorf("aba* -> %d, want %d", got, 37+26)
+	}
+	if got := IndexString("baaa"); got != 37+676 {
+		t.Errorf("baa* -> %d, want %d", got, 37+676)
+	}
+	if got := IndexString("theory"); got != 37+(int('t'-'a'))*676+(int('h'-'a'))*26+int('e'-'a') {
+		t.Errorf("theory index mismatch: %d", got)
+	}
+}
+
+func TestIndexAlwaysValidQuick(t *testing.T) {
+	f := func(term []byte) bool { return Valid(Index(term)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripRestoreRoundTripQuick(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build plausible token bytes: letters, digits, occasional junk.
+		term := make([]byte, 0, len(raw))
+		for _, c := range raw {
+			switch c % 4 {
+			case 0, 1:
+				term = append(term, 'a'+c%26)
+			case 2:
+				term = append(term, '0'+c%10)
+			default:
+				term = append(term, c)
+			}
+		}
+		idx := Index(term)
+		stripped := Strip(idx, term)
+		restored := Restore(idx, stripped)
+		return bytes.Equal(restored, term)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStripLenPerCategory(t *testing.T) {
+	if StripLen(IndexSpecial) != 0 {
+		t.Error("special collection must strip nothing")
+	}
+	for idx := FirstNumeric; idx <= LastShortLetter; idx++ {
+		if StripLen(idx) != 1 {
+			t.Fatalf("StripLen(%d) = %d, want 1", idx, StripLen(idx))
+		}
+	}
+	if StripLen(FirstThreeLetter) != 3 || StripLen(LastThreeLetter) != 3 {
+		t.Error("three-letter collections must strip 3 bytes")
+	}
+}
+
+func TestPrefixMatchesIndex(t *testing.T) {
+	// For every index, Prefix must map back into the same index when a
+	// long suffix is appended (three-letter) or be consistent for the
+	// single-byte categories.
+	for idx := FirstThreeLetter; idx < NumCollections; idx += 997 {
+		term := append(Prefix(idx), 'q', 'q')
+		if got := Index(term); got != idx {
+			t.Errorf("Prefix(%d)+qq -> index %d", idx, got)
+		}
+	}
+	for idx := FirstNumeric; idx <= LastNumeric; idx++ {
+		term := append(Prefix(idx), '7')
+		if got := Index(term); got != idx {
+			t.Errorf("numeric Prefix(%d)+7 -> %d", idx, got)
+		}
+	}
+	for idx := FirstShortLetter; idx <= LastShortLetter; idx++ {
+		if got := Index(Prefix(idx)); got != idx {
+			t.Errorf("letter Prefix(%d) -> %d", idx, got)
+		}
+	}
+}
+
+// TestExhaustivePrefixRoundTrip covers every one of the 17,613
+// indices: the prefix implied by each index maps back to that index
+// when extended into its category, and StripLen never exceeds the
+// prefix length.
+func TestExhaustivePrefixRoundTrip(t *testing.T) {
+	for idx := 0; idx < NumCollections; idx++ {
+		p := Prefix(idx)
+		if len(p) != StripLen(idx) && idx != IndexSpecial {
+			t.Fatalf("index %d: prefix %q vs StripLen %d", idx, p, StripLen(idx))
+		}
+		switch {
+		case idx == IndexSpecial:
+			if len(p) != 0 {
+				t.Fatalf("special prefix %q", p)
+			}
+		case idx <= LastNumeric:
+			term := append(append([]byte{}, p...), '4', '2')
+			if got := Index(term); got != idx {
+				t.Fatalf("numeric %d: %q -> %d", idx, term, got)
+			}
+		case idx <= LastShortLetter:
+			if got := Index(p); got != idx {
+				t.Fatalf("short %d: %q -> %d", idx, p, got)
+			}
+		default:
+			term := append(append([]byte{}, p...), 'q')
+			if got := Index(term); got != idx {
+				t.Fatalf("three-letter %d: %q -> %d", idx, term, got)
+			}
+		}
+	}
+}
+
+// TestPaperStripExample verifies §III.B.2's "application" example:
+// the trie captures "app" and the node cache would hold "lica".
+func TestPaperStripExample(t *testing.T) {
+	term := []byte("application")
+	idx := Index(term)
+	stripped := Strip(idx, term)
+	if string(stripped) != "lication" {
+		t.Fatalf("stripped = %q, want %q", stripped, "lication")
+	}
+	if string(stripped[:4]) != "lica" {
+		t.Fatalf("cache bytes = %q, want %q", stripped[:4], "lica")
+	}
+}
+
+func TestIndexDeterministicAndDisjoint(t *testing.T) {
+	// A term always maps to exactly one index (determinism) and the
+	// category boundaries partition the space.
+	terms := []string{"", "the", "a", "0", "99x", "zzzzzz", "-", "ab1cd"}
+	for _, s := range terms {
+		a, b := IndexString(s), IndexString(s)
+		if a != b {
+			t.Errorf("Index(%q) nondeterministic: %d vs %d", s, a, b)
+		}
+	}
+}
+
+func BenchmarkIndex(b *testing.B) {
+	terms := [][]byte{
+		[]byte("the"), []byte("application"), []byte("0195"),
+		[]byte("zzzy"), []byte("-80"), []byte("parallel"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Index(terms[i%len(terms)])
+	}
+}
