@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz experiments tools clean
+.PHONY: all build test race check bench fuzz experiments tools clean
 
 all: build test
 
@@ -15,7 +15,16 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/gpu/ ./internal/gpuindexer/ ./internal/mapreduce/
+	$(GO) test -race ./...
+
+# Everything CI runs (.github/workflows/ci.yml): formatting, vet,
+# build, and the full race-enabled test suite.
+check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 # One pass over every table/figure/ablation benchmark with metrics.
 bench:
@@ -40,6 +49,7 @@ tools:
 	$(GO) build -o bin/corpusgen ./cmd/corpusgen
 	$(GO) build -o bin/indexquery ./cmd/indexquery
 	$(GO) build -o bin/benchrunner ./cmd/benchrunner
+	$(GO) build -o bin/hetserve ./cmd/hetserve
 
 clean:
 	rm -rf bin

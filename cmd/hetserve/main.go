@@ -1,0 +1,86 @@
+// Command hetserve serves queries over a built index via HTTP/JSON:
+//
+//	hetserve -index ./index -addr :8080
+//
+// Endpoints:
+//
+//	/search?q=parallel+inverted&mode=topk&k=10   ranked / Boolean / phrase queries
+//	/postings?term=parallel&limit=50             one term's postings (404 if absent)
+//	/healthz                                     liveness + index shape
+//	/debug/vars                                  expvar + QPS, p50/p99 latency, cache hit rate
+//
+// Queries execute on a bounded worker pool under a per-query deadline,
+// reading postings through a sharded LRU cache; see internal/serve.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fastinvert/internal/serve"
+	"fastinvert/internal/store"
+)
+
+func main() {
+	var (
+		indexDir = flag.String("index", "", "built index directory (required; see cmd/hetindex)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheMB  = flag.Int64("cache-mb", 64, "postings cache budget in MiB")
+		shards   = flag.Int("cache-shards", 16, "postings cache shard count")
+		workers  = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-query deadline")
+		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/ handlers")
+	)
+	flag.Parse()
+	if *indexDir == "" {
+		fmt.Fprintln(os.Stderr, "hetserve: -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	idx, err := store.OpenIndex(*indexDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hetserve: open index: %v\n", err)
+		os.Exit(1)
+	}
+	defer idx.Close()
+
+	srv := serve.New(idx, serve.Config{
+		CacheBytes:   *cacheMB << 20,
+		CacheShards:  *shards,
+		Workers:      *workers,
+		QueryTimeout: *timeout,
+		EnablePprof:  *pprofOn,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("hetserve: %d terms, %d runs — listening on %s\n",
+		idx.Terms(), len(idx.Runs()), *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "hetserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		fmt.Println("hetserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "hetserve: shutdown: %v\n", err)
+		}
+	}
+}

@@ -31,12 +31,34 @@
 package fastinvert
 
 import (
+	"context"
+
 	"fastinvert/internal/core"
 	"fastinvert/internal/corpus"
 	"fastinvert/internal/search"
 	"fastinvert/internal/stem"
 	"fastinvert/internal/store"
 	"fastinvert/internal/trie"
+)
+
+// Typed errors, re-exported so callers can match failures with
+// errors.Is / errors.As without importing internal packages.
+var (
+	// ErrTermNotFound reports a dictionary miss from Index.LookupTerm.
+	// (Index.Postings folds missing terms into an empty list instead.)
+	ErrTermNotFound = store.ErrTermNotFound
+
+	// ErrCorruptIndex reports structurally invalid index bytes — bad
+	// magic, failed checksum, truncated table or out-of-bounds entry —
+	// from Open, Index queries or VerifyIndex.
+	ErrCorruptIndex = store.ErrCorruptIndex
+
+	// ErrClosed reports use of an Index after Close.
+	ErrClosed = store.ErrClosed
+
+	// ErrNotPositional reports a phrase query against an index built
+	// without Options.Positional.
+	ErrNotPositional = search.ErrNotPositional
 )
 
 // Options configures a Builder; see core.Config for field docs.
@@ -86,10 +108,18 @@ func NewBuilder(opts Options) (*Builder, error) {
 // opts.Concurrent the pipeline stages run as goroutines and overlap on
 // multicore hosts; the output is identical either way.
 func (b *Builder) Build(src Source) (*Report, error) {
+	return b.BuildContext(context.Background(), src)
+}
+
+// BuildContext is Build under a context: cancellation or deadline
+// expiry aborts the pipeline cleanly — concurrent stage goroutines
+// drain and exit — and the call returns ctx.Err(). A canceled build
+// may leave a partial OutDir behind.
+func (b *Builder) BuildContext(ctx context.Context, src Source) (*Report, error) {
 	if b.eng.Config().Concurrent {
-		return b.eng.BuildConcurrent(src)
+		return b.eng.BuildConcurrentContext(ctx, src)
 	}
-	return b.eng.Build(src)
+	return b.eng.BuildContext(ctx, src)
 }
 
 // ParseOnly measures the parsing pipeline alone (Fig. 10 scenario 3).
@@ -125,7 +155,9 @@ func OpenCorpusDir(dir string) (Source, error) { return corpus.OpenDir(dir) }
 // reports its Table III statistics.
 func CorpusStats(src Source) (corpus.Stats, error) { return corpus.ComputeStats(src) }
 
-// Open loads a built index directory for queries.
+// Open loads a built index directory for queries. The returned Index
+// is safe for concurrent use; call Close to release it — subsequent
+// queries return ErrClosed.
 func Open(dir string) (*Index, error) { return store.OpenIndex(dir) }
 
 // Searcher evaluates Boolean and ranked queries over an opened index.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -48,6 +49,17 @@ type parsedFile struct {
 
 // BuildConcurrent runs the full pipeline with goroutine parallelism.
 func (e *Engine) BuildConcurrent(src corpus.Source) (*Report, error) {
+	return e.BuildConcurrentContext(context.Background(), src)
+}
+
+// BuildConcurrentContext is BuildConcurrent under a context. On
+// cancellation the disk reader stops feeding the parsers, every stage
+// goroutine drains to completion (no leaks), and the build returns
+// ctx.Err(); a partially written OutDir may remain.
+func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rep := &Report{Files: src.NumFiles()}
 	e.docLens = e.docLens[:0]
 	e.docFiles = e.docFiles[:0]
@@ -102,7 +114,11 @@ func (e *Engine) BuildConcurrent(src corpus.Source) (*Report, error) {
 		}()
 		for f := 0; f < n; f++ {
 			stored, gz, err := src.ReadFile(f)
-			parserIn[f%m] <- rawFile{f: f, stored: stored, gz: gz, err: err}
+			select {
+			case parserIn[f%m] <- rawFile{f: f, stored: stored, gz: gz, err: err}:
+			case <-ctx.Done():
+				return
+			}
 			if err != nil {
 				return
 			}
@@ -127,6 +143,16 @@ func (e *Engine) BuildConcurrent(src corpus.Source) (*Report, error) {
 		close(results)
 	}()
 
+	// abort tears the pipeline down after cancellation: with ctx done
+	// the disk goroutine exits and closes the parser inputs, so
+	// draining results until close guarantees no stage goroutine is
+	// left blocked on a send.
+	abort := func() error {
+		for range results {
+		}
+		return ctx.Err()
+	}
+
 	// Sequencer: consume blocks in file order, index shares in
 	// parallel, post-process serially.
 	pending := make(map[int]parsedFile)
@@ -134,13 +160,23 @@ func (e *Engine) BuildConcurrent(src corpus.Source) (*Report, error) {
 	var docBase uint32
 	next := 0
 	for next < n {
+		if ctx.Err() != nil {
+			return nil, abort()
+		}
 		pf, ok := pending[next]
 		if !ok {
-			r, open := <-results
-			if !open {
-				return nil, fmt.Errorf("core: parser stage ended early at file %d", next)
+			select {
+			case r, open := <-results:
+				if !open {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					return nil, fmt.Errorf("core: parser stage ended early at file %d", next)
+				}
+				pending[r.f] = r
+			case <-ctx.Done():
+				return nil, abort()
 			}
-			pending[r.f] = r
 			continue
 		}
 		delete(pending, next)

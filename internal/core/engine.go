@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -67,6 +68,17 @@ func (e *Engine) measure(t0 time.Time) float64 {
 // When cfg.OutDir is set the run files, docmap and dictionary are
 // persisted there.
 func (e *Engine) Build(src corpus.Source) (*Report, error) {
+	return e.BuildContext(context.Background(), src)
+}
+
+// BuildContext is Build under a context: cancellation or deadline
+// expiry is observed between files and aborts the build with ctx.Err().
+// A canceled build leaves any partially written OutDir behind; rerun
+// to completion (or remove it) before opening.
+func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rep := &Report{Files: src.NumFiles()}
 	e.docLens = e.docLens[:0]
 	e.docFiles = e.docFiles[:0]
@@ -104,6 +116,9 @@ func (e *Engine) Build(src corpus.Source) (*Report, error) {
 	p := e.newParser()
 
 	for f := 0; f < src.NumFiles(); f++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		stored, compressed, err := src.ReadFile(f)
 		if err != nil {
 			return nil, fmt.Errorf("core: read %s: %w", src.FileName(f), err)

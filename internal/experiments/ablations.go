@@ -296,8 +296,10 @@ func AblationCoalescing() (AblationResult, error) {
 	}
 	const nodes = 4096
 	p := dev.Malloc(nodes * btree.NodeSize)
-	scratch := make([]byte, btree.NodeSize)
 	sc := dev.Launch(480, func(b *gpu.Block) {
+		// Per-block scratch: Launch runs blocks on parallel goroutines,
+		// so a shared slice would be written concurrently.
+		scratch := make([]byte, btree.NodeSize)
 		for i := b.BlockIdx; i < nodes; i += 480 {
 			b.GlobalReadScattered(scratch, p+gpu.Ptr(i*btree.NodeSize))
 		}

@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions that compare measured wall-clock durations are skipped
+// under -race: instrumentation slows stages by different factors and
+// scrambles the orderings the tests pin.
+const raceEnabled = true

@@ -1,0 +1,96 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestSearcherConcurrentQueries hammers one Searcher (and therefore
+// one IndexReader) from 16 goroutines with mixed Postings/And/TopK —
+// the documented concurrency guarantee, checked under -race.
+func TestSearcherConcurrentQueries(t *testing.T) {
+	idx, ref := buildIndex(t)
+	defer idx.Close()
+	s := New(idx)
+	frequent, rare := pickTerms(ref)
+	words := []string{frequent, rare}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				w := words[(g+i)%len(words)]
+				var err error
+				switch i % 3 {
+				case 0:
+					var l interface{ Len() int }
+					l, err = s.Postings(w)
+					if err == nil && l.Len() == 0 {
+						err = errors.New("empty postings for indexed term " + w)
+					}
+				case 1:
+					_, err = s.And(frequent, rare)
+				case 2:
+					_, err = s.TopK(5, frequent, rare)
+				}
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestContextCancellation verifies every Ctx query method observes a
+// canceled context and returns its error.
+func TestContextCancellation(t *testing.T) {
+	idx, ref := buildIndex(t)
+	defer idx.Close()
+	s := New(idx)
+	frequent, _ := pickTerms(ref)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := s.PostingsCtx(ctx, frequent); !errors.Is(err, context.Canceled) {
+		t.Errorf("PostingsCtx = %v, want Canceled", err)
+	}
+	if _, err := s.AndCtx(ctx, frequent); !errors.Is(err, context.Canceled) {
+		t.Errorf("AndCtx = %v, want Canceled", err)
+	}
+	if _, err := s.OrCtx(ctx, frequent); !errors.Is(err, context.Canceled) {
+		t.Errorf("OrCtx = %v, want Canceled", err)
+	}
+	if _, err := s.PhraseCtx(ctx, frequent); !errors.Is(err, context.Canceled) {
+		t.Errorf("PhraseCtx = %v, want Canceled", err)
+	}
+	if _, err := s.TopKCtx(ctx, 5, frequent); !errors.Is(err, context.Canceled) {
+		t.Errorf("TopKCtx = %v, want Canceled", err)
+	}
+}
+
+func TestTypedQueryErrors(t *testing.T) {
+	idx, ref := buildIndex(t) // non-positional index
+	defer idx.Close()
+	s := New(idx)
+	frequent, rare := pickTerms(ref)
+
+	if _, err := s.TopK(0, frequent); !errors.Is(err, ErrInvalidK) {
+		t.Errorf("TopK(0) = %v, want ErrInvalidK", err)
+	}
+	if _, err := s.Phrase(frequent, rare); !errors.Is(err, ErrNotPositional) {
+		t.Errorf("Phrase on non-positional index = %v, want ErrNotPositional", err)
+	}
+}

@@ -7,7 +7,8 @@ package search
 
 import (
 	"container/heap"
-	"fmt"
+	"context"
+	"errors"
 	"math"
 	"sort"
 
@@ -23,9 +24,34 @@ const (
 	bm25B  = 0.75
 )
 
+// Typed query errors, matchable with errors.Is.
+var (
+	// ErrNotPositional reports a phrase query against an index built
+	// without positions (Options.Positional).
+	ErrNotPositional = errors.New("search: phrase queries need a positional index")
+
+	// ErrInvalidK reports a non-positive k passed to ranked retrieval.
+	ErrInvalidK = errors.New("search: k must be positive")
+)
+
+// PostingsSource is what a Searcher needs from an index: postings
+// lookup plus the immutable metadata driving IDF and BM25. It is the
+// seam where a caching layer (internal/serve) slots in front of
+// *store.IndexReader, which satisfies it directly.
+type PostingsSource interface {
+	Postings(term string) (*postings.List, error)
+	DocLens() []uint32
+	Runs() []store.RunMeta
+	Dictionary() []store.DictEntry
+}
+
 // Searcher evaluates queries against one opened index.
+//
+// Concurrency: a Searcher is immutable after construction and safe for
+// concurrent use, provided its PostingsSource is (store.IndexReader
+// and serve's cached wrapper both are).
 type Searcher struct {
-	idx     *store.IndexReader
+	idx     PostingsSource
 	stop    *stopwords.Set
 	numDocs int64
 	docLens []uint32 // optional, enables BM25 length normalization
@@ -35,7 +61,11 @@ type Searcher struct {
 // New wraps an opened index. The document count for IDF comes from the
 // index's docID-range map; when the index carries document lengths,
 // ranked retrieval uses BM25 instead of plain TF-IDF.
-func New(idx *store.IndexReader) *Searcher {
+func New(idx *store.IndexReader) *Searcher { return NewWithSource(idx) }
+
+// NewWithSource wraps any PostingsSource — typically a *store.IndexReader,
+// or serve's sharded postings cache fronting one.
+func NewWithSource(idx PostingsSource) *Searcher {
 	var maxDoc uint32
 	any := false
 	for _, r := range idx.Runs() {
@@ -86,6 +116,14 @@ func (s *Searcher) Normalize(word string) (term string, stop bool) {
 // Postings fetches the normalized word's postings list (empty for stop
 // words and unknown terms).
 func (s *Searcher) Postings(word string) (*postings.List, error) {
+	return s.PostingsCtx(context.Background(), word)
+}
+
+// PostingsCtx is Postings honoring ctx cancellation.
+func (s *Searcher) PostingsCtx(ctx context.Context, word string) (*postings.List, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	term, stop := s.Normalize(word)
 	if stop || term == "" {
 		return &postings.List{}, nil
@@ -96,8 +134,17 @@ func (s *Searcher) Postings(word string) (*postings.List, error) {
 // And returns the docIDs containing every word (stop words are
 // ignored; if all words are stop words the result is empty).
 func (s *Searcher) And(words ...string) ([]uint32, error) {
+	return s.AndCtx(context.Background(), words...)
+}
+
+// AndCtx is And honoring ctx: cancellation or deadline expiry between
+// per-term postings fetches aborts the query with ctx.Err().
+func (s *Searcher) AndCtx(ctx context.Context, words ...string) ([]uint32, error) {
 	var lists []*postings.List
 	for _, w := range words {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		term, stop := s.Normalize(w)
 		if stop || term == "" {
 			continue
@@ -145,9 +192,14 @@ func intersect(a, b []uint32) []uint32 {
 
 // Or returns the docIDs containing any word, in ascending order.
 func (s *Searcher) Or(words ...string) ([]uint32, error) {
+	return s.OrCtx(context.Background(), words...)
+}
+
+// OrCtx is Or honoring ctx cancellation between per-term fetches.
+func (s *Searcher) OrCtx(ctx context.Context, words ...string) ([]uint32, error) {
 	seen := map[uint32]struct{}{}
 	for _, w := range words {
-		l, err := s.Postings(w)
+		l, err := s.PostingsCtx(ctx, w)
 		if err != nil {
 			return nil, err
 		}
@@ -168,12 +220,21 @@ func (s *Searcher) Or(words ...string) ([]uint32, error) {
 // (stop words inside the phrase are skipped but still occupy a
 // position, the standard convention). Requires a positional index.
 func (s *Searcher) Phrase(words ...string) ([]uint32, error) {
+	return s.PhraseCtx(context.Background(), words...)
+}
+
+// PhraseCtx is Phrase honoring ctx cancellation between per-term
+// fetches.
+func (s *Searcher) PhraseCtx(ctx context.Context, words ...string) ([]uint32, error) {
 	type part struct {
 		offset uint32
 		list   *postings.List
 	}
 	var parts []part
 	for i, w := range words {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		term, stop := s.Normalize(w)
 		if stop || term == "" {
 			continue
@@ -186,7 +247,7 @@ func (s *Searcher) Phrase(words ...string) ([]uint32, error) {
 			return nil, nil
 		}
 		if !l.Positional() {
-			return nil, fmt.Errorf("search: phrase queries need a positional index (Options.Positional)")
+			return nil, ErrNotPositional
 		}
 		parts = append(parts, part{uint32(i), l})
 	}
@@ -274,12 +335,17 @@ type ScoredDoc struct {
 // otherwise plain TF-IDF (tf * ln(1+N/df)). Results are sorted by
 // descending score, ties by ascending docID.
 func (s *Searcher) TopK(k int, words ...string) ([]ScoredDoc, error) {
+	return s.TopKCtx(context.Background(), k, words...)
+}
+
+// TopKCtx is TopK honoring ctx cancellation between per-term fetches.
+func (s *Searcher) TopKCtx(ctx context.Context, k int, words ...string) ([]ScoredDoc, error) {
 	if k <= 0 {
-		return nil, fmt.Errorf("search: k must be positive")
+		return nil, ErrInvalidK
 	}
 	scores := map[uint32]float64{}
 	for _, w := range words {
-		l, err := s.Postings(w)
+		l, err := s.PostingsCtx(ctx, w)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,189 @@
+// Package serve is the query-serving layer: it makes an opened index
+// fast and safe under concurrent traffic. A sharded, size-bounded LRU
+// postings cache fronts store.IndexReader term access, a bounded
+// worker pool executes queries under per-query deadlines, and Server
+// exposes the whole thing over HTTP/JSON with expvar metrics.
+//
+// The construction pipeline (internal/core) optimizes for build
+// throughput; this package optimizes for the other half of the
+// paper's story — the index being read "by a large number of users"
+// — where the bottleneck is concurrent in-memory postings access.
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"fastinvert/internal/postings"
+)
+
+// CacheStats is a point-in-time aggregate over all shards.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// HitRate is hits/(hits+misses), 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// PostingsCache is a sharded, size-bounded LRU cache of decoded
+// postings lists keyed by normalized term. Sharding by term hash
+// spreads lock contention: a Get or Put touches exactly one shard
+// mutex, so goroutines querying different terms rarely collide.
+//
+// Cached *postings.List values are shared between all readers and
+// MUST be treated as immutable — the search layer already only reads
+// them.
+type PostingsCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     list.List // front = most recently used
+	bytes   int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	term string
+	list *postings.List
+	size int64
+}
+
+// NewPostingsCache builds a cache with the given shard count (rounded
+// up to a power of two, min 1) holding at most maxBytes of decoded
+// postings across all shards. maxBytes <= 0 selects a 64 MiB default.
+func NewPostingsCache(shards int, maxBytes int64) *PostingsCache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &PostingsCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	per := maxBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.maxBytes = per
+		s.entries = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// Shards reports the shard count.
+func (c *PostingsCache) Shards() int { return len(c.shards) }
+
+// shard picks the owning shard by FNV-1a over the term.
+func (c *PostingsCache) shard(term string) *cacheShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(term); i++ {
+		h ^= uint32(term[i])
+		h *= prime32
+	}
+	return &c.shards[h&c.mask]
+}
+
+// Get returns the cached list for term, marking it most recently used.
+func (c *PostingsCache) Get(term string) (*postings.List, bool) {
+	s := c.shard(term)
+	s.mu.Lock()
+	el, ok := s.entries[term]
+	if !ok {
+		s.mu.Unlock()
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	l := el.Value.(*cacheEntry).list
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return l, true
+}
+
+// Put inserts (or refreshes) a term's list, evicting least recently
+// used entries until the shard fits its byte budget. Lists larger than
+// a whole shard are not cached at all — admitting one would flush the
+// entire shard for a single entry.
+func (c *PostingsCache) Put(term string, l *postings.List) {
+	size := ListBytes(l)
+	s := c.shard(term)
+	if size > s.maxBytes {
+		return
+	}
+	s.mu.Lock()
+	if el, ok := s.entries[term]; ok {
+		e := el.Value.(*cacheEntry)
+		s.bytes += size - e.size
+		e.list, e.size = l, size
+		s.lru.MoveToFront(el)
+	} else {
+		s.entries[term] = s.lru.PushFront(&cacheEntry{term: term, list: l, size: size})
+		s.bytes += size
+	}
+	evicted := uint64(0)
+	for s.bytes > s.maxBytes {
+		back := s.lru.Back()
+		e := back.Value.(*cacheEntry)
+		s.lru.Remove(back)
+		delete(s.entries, e.term)
+		s.bytes -= e.size
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		s.evictions.Add(evicted)
+	}
+}
+
+// Stats aggregates counters and occupancy across shards.
+func (c *PostingsCache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		st.Hits += s.hits.Load()
+		st.Misses += s.misses.Load()
+		st.Evictions += s.evictions.Load()
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// ListBytes estimates the resident size of a decoded postings list:
+// 4 bytes per docID and per TF, 4 per position, plus slice headers.
+func ListBytes(l *postings.List) int64 {
+	const sliceHdr = 24
+	size := int64(3*sliceHdr) + int64(len(l.DocIDs))*4 + int64(len(l.TFs))*4
+	for _, ps := range l.Positions {
+		size += sliceHdr + int64(len(ps))*4
+	}
+	return size
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fastinvert/internal/postings"
+)
+
+// listOfLen builds a postings list with n entries.
+func listOfLen(n int) *postings.List {
+	l := &postings.List{}
+	for i := 0; i < n; i++ {
+		l.DocIDs = append(l.DocIDs, uint32(i))
+		l.TFs = append(l.TFs, 1)
+	}
+	return l
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewPostingsCache(4, 1<<20)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	l := listOfLen(3)
+	c.Put("term", l)
+	got, ok := c.Get("term")
+	if !ok || got != l {
+		t.Fatalf("Get = %v, %v; want the cached list", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v; want 1 hit, 1 miss, 1 entry", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate())
+	}
+}
+
+// TestCacheEvictionBoundary fills one shard to exactly its budget,
+// then crosses it by one entry and checks the LRU victim is the
+// oldest untouched term.
+func TestCacheEvictionBoundary(t *testing.T) {
+	entrySize := ListBytes(listOfLen(10))
+	// Single shard so the boundary is deterministic; room for exactly 4.
+	c := NewPostingsCache(1, 4*entrySize)
+
+	for i := 0; i < 4; i++ {
+		c.Put(fmt.Sprintf("t%d", i), listOfLen(10))
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 4 {
+		t.Fatalf("at boundary: %+v; want 4 entries, 0 evictions", st)
+	}
+
+	// Touch t0 so t1 becomes the LRU victim.
+	c.Get("t0")
+	c.Put("t4", listOfLen(10))
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 4 {
+		t.Fatalf("past boundary: %+v; want 4 entries, 1 eviction", st)
+	}
+	if _, ok := c.Get("t1"); ok {
+		t.Fatal("t1 should have been the LRU victim")
+	}
+	for _, term := range []string{"t0", "t2", "t3", "t4"} {
+		if _, ok := c.Get(term); !ok {
+			t.Fatalf("%s should have survived", term)
+		}
+	}
+	if st := c.Stats(); st.Bytes > 4*entrySize {
+		t.Fatalf("bytes = %d exceeds budget %d", st.Bytes, 4*entrySize)
+	}
+}
+
+func TestCacheRefreshSameTerm(t *testing.T) {
+	c := NewPostingsCache(1, 1<<20)
+	c.Put("t", listOfLen(5))
+	c.Put("t", listOfLen(50))
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+	if st.Bytes != ListBytes(listOfLen(50)) {
+		t.Fatalf("bytes = %d, want size of refreshed list", st.Bytes)
+	}
+}
+
+func TestCacheRejectsOversizeList(t *testing.T) {
+	c := NewPostingsCache(1, 128)
+	c.Put("huge", listOfLen(1000))
+	if st := c.Stats(); st.Entries != 0 || st.Evictions != 0 {
+		t.Fatalf("oversize list must not be admitted: %+v", st)
+	}
+}
+
+// TestCacheConcurrent hammers all shards from 16 goroutines under a
+// tight budget so evictions race with lookups (run with -race).
+func TestCacheConcurrent(t *testing.T) {
+	c := NewPostingsCache(8, 64*ListBytes(listOfLen(10)))
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				term := fmt.Sprintf("t%d", (g*31+i)%128)
+				if _, ok := c.Get(term); !ok {
+					c.Put(term, listOfLen(10))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 16*500 {
+		t.Fatalf("lookups = %d, want %d", st.Hits+st.Misses, 16*500)
+	}
+	if st.Entries == 0 {
+		t.Fatal("cache ended empty")
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyWindow is how many recent query latencies feed the
+// percentile estimates.
+const latencyWindow = 4096
+
+// Metrics tracks the server's query counters and a sliding window of
+// latencies for percentile reporting. All methods are safe for
+// concurrent use; Observe is two atomic adds plus one short
+// critical section on the ring.
+type Metrics struct {
+	start   time.Time
+	queries atomic.Int64
+	errors  atomic.Int64
+
+	mu   sync.Mutex
+	ring [latencyWindow]float64 // milliseconds
+	next int
+	n    int // filled entries, <= latencyWindow
+}
+
+// NewMetrics starts the uptime clock.
+func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+
+// Observe records one completed query.
+func (m *Metrics) Observe(d time.Duration, err error) {
+	m.queries.Add(1)
+	if err != nil {
+		m.errors.Add(1)
+	}
+	ms := float64(d) / float64(time.Millisecond)
+	m.mu.Lock()
+	m.ring[m.next] = ms
+	m.next = (m.next + 1) % latencyWindow
+	if m.n < latencyWindow {
+		m.n++
+	}
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the JSON shape published at /debug/vars.
+type MetricsSnapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Queries   int64   `json:"queries"`
+	Errors    int64   `json:"errors"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P90Ms     float64 `json:"p90_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// Snapshot computes percentiles over the latency window and overall
+// QPS since start.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	lat := append([]float64(nil), m.ring[:m.n]...)
+	m.mu.Unlock()
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	up := time.Since(m.start).Seconds()
+	q := m.queries.Load()
+	qps := 0.0
+	if up > 0 {
+		qps = float64(q) / up
+	}
+	return MetricsSnapshot{
+		UptimeSec: up,
+		Queries:   q,
+		Errors:    m.errors.Load(),
+		QPS:       qps,
+		P50Ms:     pct(0.50),
+		P90Ms:     pct(0.90),
+		P99Ms:     pct(0.99),
+	}
+}

@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func(context.Context) error {
+				ran.Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() != 64 {
+		t.Fatalf("ran %d jobs, want 64", ran.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers)
+	defer p.Close()
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = p.Do(context.Background(), func(context.Context) error {
+				n := inflight.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inflight.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", got, workers)
+	}
+}
+
+func TestPoolContextCancellation(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+
+	// Occupy the only worker.
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error {
+		close(started)
+		<-release
+		return nil
+	})
+	<-started
+
+	// A queued submitter must fail with its context's error, not hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := p.Do(ctx, func(context.Context) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded", err)
+	}
+
+	// A running job's fn sees cancellation through its own ctx.
+	close(release)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	err = p.Do(ctx2, func(ctx context.Context) error {
+		cancel2()
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want Canceled", err)
+	}
+}
+
+func TestPoolGracefulClose(t *testing.T) {
+	p := NewPool(2)
+	finished := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error {
+		close(started)
+		time.Sleep(10 * time.Millisecond)
+		close(finished)
+		return nil
+	})
+	<-started
+	p.Close() // must wait for the in-flight job
+	select {
+	case <-finished:
+	default:
+		t.Fatal("Close returned before in-flight job finished")
+	}
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Do after Close = %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"fastinvert/internal/postings"
+	"fastinvert/internal/search"
+	"fastinvert/internal/store"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// CacheBytes bounds the decoded-postings cache (default 64 MiB).
+	CacheBytes int64
+	// CacheShards is the lock-striping factor (default 16, rounded up
+	// to a power of two).
+	CacheShards int
+	// Workers bounds concurrent query execution (default GOMAXPROCS).
+	Workers int
+	// QueryTimeout is the per-query deadline applied on top of the
+	// request context (default 2s).
+	QueryTimeout time.Duration
+	// MaxK caps the k parameter of ranked queries (default 1000).
+	MaxK int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c *Config) fill() {
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 2 * time.Second
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+}
+
+// cachedSource fronts an IndexReader with the sharded postings cache;
+// it is the search.PostingsSource the server's Searcher reads through,
+// so every query path — /search and /postings alike — shares one
+// cache.
+type cachedSource struct {
+	idx   *store.IndexReader
+	cache *PostingsCache
+}
+
+func (cs *cachedSource) Postings(term string) (*postings.List, error) {
+	if l, ok := cs.cache.Get(term); ok {
+		return l, nil
+	}
+	l, err := cs.idx.Postings(term)
+	if err != nil {
+		return nil, err
+	}
+	cs.cache.Put(term, l)
+	return l, nil
+}
+
+func (cs *cachedSource) DocLens() []uint32             { return cs.idx.DocLens() }
+func (cs *cachedSource) Runs() []store.RunMeta         { return cs.idx.Runs() }
+func (cs *cachedSource) Dictionary() []store.DictEntry { return cs.idx.Dictionary() }
+
+// Server serves Boolean, phrase and ranked queries over one opened
+// index. Construct with New, mount Handler on an http.Server, and
+// Close on shutdown (the index itself stays open; its lifetime belongs
+// to the caller).
+type Server struct {
+	idx      *store.IndexReader
+	cache    *PostingsCache
+	searcher *search.Searcher
+	pool     *Pool
+	metrics  *Metrics
+	cfg      Config
+	mux      *http.ServeMux
+}
+
+// New wires the cache, worker pool and HTTP routes around an opened
+// index.
+func New(idx *store.IndexReader, cfg Config) *Server {
+	cfg.fill()
+	cache := NewPostingsCache(cfg.CacheShards, cfg.CacheBytes)
+	s := &Server{
+		idx:      idx,
+		cache:    cache,
+		searcher: search.NewWithSource(&cachedSource{idx: idx, cache: cache}),
+		pool:     NewPool(cfg.Workers),
+		metrics:  NewMetrics(),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/postings", s.handlePostings)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes the postings-cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Close drains the worker pool gracefully: in-flight queries finish,
+// new ones fail fast.
+func (s *Server) Close() { s.pool.Close() }
+
+// searchResponse is the /search JSON shape.
+type searchResponse struct {
+	Query  string      `json:"query"`
+	Mode   string      `json:"mode"`
+	K      int         `json:"k,omitempty"`
+	Count  int         `json:"count"`
+	Docs   []uint32    `json:"docs,omitempty"`
+	Ranked []rankedDoc `json:"ranked,omitempty"`
+	TookMs float64     `json:"took_ms"`
+}
+
+type rankedDoc struct {
+	Doc   uint32  `json:"doc"`
+	Score float64 `json:"score"`
+}
+
+// handleSearch evaluates q under the configured mode:
+//
+//	GET /search?q=parallel+inverted&mode=and|or|phrase|topk&k=10
+//
+// The query runs on a pool worker under the per-query deadline; a
+// saturated pool makes callers wait here (backpressure), and an
+// expired deadline aborts with 503.
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	if q == "" {
+		httpError(w, http.StatusBadRequest, "missing q parameter")
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	if mode == "" {
+		mode = "topk"
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		v, err := strconv.Atoi(ks)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = v
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	words := strings.Fields(q)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	resp := searchResponse{Query: q, Mode: mode}
+	t0 := time.Now()
+	err := s.pool.Do(ctx, func(ctx context.Context) error {
+		switch mode {
+		case "and":
+			docs, err := s.searcher.AndCtx(ctx, words...)
+			resp.Docs, resp.Count = docs, len(docs)
+			return err
+		case "or":
+			docs, err := s.searcher.OrCtx(ctx, words...)
+			resp.Docs, resp.Count = docs, len(docs)
+			return err
+		case "phrase":
+			docs, err := s.searcher.PhraseCtx(ctx, words...)
+			resp.Docs, resp.Count = docs, len(docs)
+			return err
+		case "topk":
+			resp.K = k
+			ranked, err := s.searcher.TopKCtx(ctx, k, words...)
+			resp.Ranked = make([]rankedDoc, len(ranked))
+			for i, d := range ranked {
+				resp.Ranked[i] = rankedDoc{Doc: d.Doc, Score: d.Score}
+			}
+			resp.Count = len(ranked)
+			return err
+		default:
+			return errBadMode
+		}
+	})
+	took := time.Since(t0)
+	s.metrics.Observe(took, err)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	resp.TookMs = float64(took) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+var errBadMode = errors.New("serve: mode must be one of and, or, phrase, topk")
+
+// postingsResponse is the /postings JSON shape.
+type postingsResponse struct {
+	Term       string   `json:"term"`
+	Normalized string   `json:"normalized"`
+	DF         int      `json:"df"`
+	Docs       []uint32 `json:"docs"`
+	TFs        []uint32 `json:"tfs"`
+	Truncated  bool     `json:"truncated,omitempty"`
+}
+
+// handlePostings returns one term's postings, 404 for unknown terms:
+//
+//	GET /postings?term=parallel&limit=100
+func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
+	word := r.URL.Query().Get("term")
+	if word == "" {
+		httpError(w, http.StatusBadRequest, "missing term parameter")
+		return
+	}
+	limit := 100
+	if ls := r.URL.Query().Get("limit"); ls != "" {
+		v, err := strconv.Atoi(ls)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = v
+	}
+	norm, stop := s.searcher.Normalize(word)
+	if stop || norm == "" {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("%q is a stop word", word))
+		return
+	}
+	if _, err := s.idx.LookupTerm(norm); err != nil {
+		if errors.Is(err, store.ErrTermNotFound) {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeQueryError(w, err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	resp := postingsResponse{Term: word, Normalized: norm}
+	t0 := time.Now()
+	err := s.pool.Do(ctx, func(ctx context.Context) error {
+		l, err := s.searcher.PostingsCtx(ctx, word)
+		if err != nil {
+			return err
+		}
+		resp.DF = l.Len()
+		n := l.Len()
+		if n > limit {
+			n, resp.Truncated = limit, true
+		}
+		resp.Docs = l.DocIDs[:n]
+		resp.TFs = l.TFs[:n]
+		return nil
+	})
+	s.metrics.Observe(time.Since(t0), err)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz reports liveness plus basic index shape.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"terms":  s.idx.Terms(),
+		"docs":   s.searcher.NumDocs(),
+		"runs":   len(s.idx.Runs()),
+	})
+}
+
+// varsSnapshot is the "hetserve" object at /debug/vars.
+type varsSnapshot struct {
+	MetricsSnapshot
+	Cache        CacheStats `json:"cache"`
+	CacheHitRate float64    `json:"cache_hit_rate"`
+	Workers      int        `json:"workers"`
+}
+
+// handleVars renders the process-global expvar registry (memstats,
+// cmdline, anything else published) plus this server's own metrics
+// under the "hetserve" key. Rendering our vars per-server instead of
+// expvar.Publish-ing them keeps multiple Servers in one process (and
+// in tests) from colliding in the global registry.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n")
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, "%q: %s,\n", kv.Key, kv.Value)
+	})
+	cache := s.cache.Stats()
+	snap := varsSnapshot{
+		MetricsSnapshot: s.metrics.Snapshot(),
+		Cache:           cache,
+		CacheHitRate:    cache.HitRate(),
+		Workers:         s.cfg.Workers,
+	}
+	b, err := json.Marshal(snap)
+	if err != nil {
+		b = []byte("{}")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "hetserve", b)
+}
+
+// writeQueryError maps query failures to HTTP statuses.
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusServiceUnavailable, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		httpError(w, http.StatusServiceUnavailable, "query canceled")
+	case errors.Is(err, ErrPoolClosed), errors.Is(err, store.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errBadMode), errors.Is(err, search.ErrInvalidK),
+		errors.Is(err, search.ErrNotPositional):
+		httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, store.ErrCorruptIndex):
+		httpError(w, http.StatusInternalServerError, err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

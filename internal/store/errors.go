@@ -1,0 +1,24 @@
+package store
+
+import "errors"
+
+// Sentinel errors for the index read path. Callers match them with
+// errors.Is; the root fastinvert package re-exports them so external
+// code never needs to import internal/store.
+var (
+	// ErrTermNotFound reports a dictionary lookup miss. Postings and
+	// PostingsRange deliberately do NOT return it — a missing term
+	// yields an empty list there, the convenient behavior for Boolean
+	// evaluation — but LookupTerm does, for callers that must
+	// distinguish "absent" from "present with no postings in range".
+	ErrTermNotFound = errors.New("store: term not found")
+
+	// ErrCorruptIndex reports structurally invalid index bytes: a bad
+	// magic number, a failed checksum, a truncated table, or an entry
+	// pointing outside its blob. ErrCorruptRun wraps it, so
+	// errors.Is(err, ErrCorruptIndex) also matches run-file corruption.
+	ErrCorruptIndex = errors.New("store: corrupt index")
+
+	// ErrClosed reports use of an IndexReader after Close.
+	ErrClosed = errors.New("store: index reader is closed")
+)

@@ -121,7 +121,7 @@ func readDocTable(dir string) (names []string, locs []DocLocation, err error) {
 		return nil, nil, err
 	}
 	if len(data) < 12 || binary.LittleEndian.Uint32(data) != docTableMagic {
-		return nil, nil, fmt.Errorf("store: corrupt doc table")
+		return nil, nil, fmt.Errorf("doc table header: %w", ErrCorruptIndex)
 	}
 	nNames := int(binary.LittleEndian.Uint32(data[4:]))
 	nDocs := int(binary.LittleEndian.Uint32(data[8:]))
@@ -137,7 +137,7 @@ func readDocTable(dir string) (names []string, locs []DocLocation, err error) {
 	for i := 0; i < nNames; i++ {
 		n, ok := read()
 		if !ok || pos+int(n) > len(data) {
-			return nil, nil, fmt.Errorf("store: truncated doc table names")
+			return nil, nil, fmt.Errorf("doc table names: %w", ErrCorruptIndex)
 		}
 		names = append(names, string(data[pos:pos+int(n)]))
 		pos += int(n)
@@ -148,7 +148,7 @@ func readDocTable(dir string) (names []string, locs []DocLocation, err error) {
 		off, ok2 := read()
 		ln, ok3 := read()
 		if !ok1 || !ok2 || !ok3 || int(fi) >= nNames {
-			return nil, nil, fmt.Errorf("store: truncated doc table")
+			return nil, nil, fmt.Errorf("doc table rows: %w", ErrCorruptIndex)
 		}
 		locs[i] = DocLocation{uint32(fi), uint32(off), uint32(ln)}
 	}
@@ -165,7 +165,7 @@ func readDocLens(dir string) ([]uint32, error) {
 		return nil, err
 	}
 	if len(data) < 8 || binary.LittleEndian.Uint32(data) != docLensMagic {
-		return nil, fmt.Errorf("store: corrupt doclens file")
+		return nil, fmt.Errorf("doclens header: %w", ErrCorruptIndex)
 	}
 	n := int(binary.LittleEndian.Uint32(data[4:]))
 	lens := make([]uint32, n)
@@ -173,7 +173,7 @@ func readDocLens(dir string) ([]uint32, error) {
 	for i := 0; i < n; i++ {
 		v, m := encoding.UvarByte(data[pos:])
 		if m <= 0 {
-			return nil, fmt.Errorf("store: truncated doclens file")
+			return nil, fmt.Errorf("doclens entries: %w", ErrCorruptIndex)
 		}
 		lens[i] = uint32(v)
 		pos += m
@@ -185,7 +185,7 @@ func readDocLens(dir string) ([]uint32, error) {
 // the index.
 func (w *IndexWriter) Finish(dict []DictEntry) error {
 	if w.closed {
-		return fmt.Errorf("store: writer already finished")
+		return fmt.Errorf("store: writer already finished: %w", ErrClosed)
 	}
 	f, err := os.Create(filepath.Join(w.dir, "dictionary.fidc"))
 	if err != nil {
@@ -213,6 +213,14 @@ func (w *IndexWriter) Finish(dict []DictEntry) error {
 func (w *IndexWriter) Runs() []RunMeta { return w.runs }
 
 // IndexReader opens a finished index directory for queries.
+//
+// Concurrency: an IndexReader is safe for use by any number of
+// goroutines after OpenIndex returns. The dictionary, doc map, doc
+// lengths and doc table are immutable once loaded; the lazy run cache
+// is synchronized internally, and concurrent first touches of the same
+// run file coalesce into a single load. Close may race with in-flight
+// readers: each call either completes against the open reader or
+// returns ErrClosed, never a torn state.
 type IndexReader struct {
 	dir     string
 	dict    []DictEntry
@@ -223,7 +231,17 @@ type IndexReader struct {
 	docLocs  []DocLocation // optional doc table: per-doc locations
 
 	mu       sync.Mutex
-	runCache map[string]*Run // parsed run files, loaded on first use
+	closed   bool
+	runCache map[string]*runSlot // parsed run files, loaded on first use
+}
+
+// runSlot coalesces concurrent loads of one run file: the first
+// goroutine to claim the slot parses the file inside once, later
+// arrivals block on it and share the result.
+type runSlot struct {
+	once sync.Once
+	run  *Run
+	err  error
 }
 
 // OpenIndex reads the dictionary and doc map of a finished index.
@@ -243,7 +261,7 @@ func OpenIndex(dir string) (*IndexReader, error) {
 	}
 	var runs []RunMeta
 	if err := json.Unmarshal(raw, &runs); err != nil {
-		return nil, fmt.Errorf("store: docmap: %w", err)
+		return nil, fmt.Errorf("docmap (%v): %w", err, ErrCorruptIndex)
 	}
 	lens, err := readDocLens(dir)
 	if err != nil {
@@ -260,8 +278,33 @@ func OpenIndex(dir string) (*IndexReader, error) {
 		docLens:  lens,
 		docFiles: names,
 		docLocs:  locs,
-		runCache: make(map[string]*Run),
+		runCache: make(map[string]*runSlot),
 	}, nil
+}
+
+// Close releases the reader: the run cache is dropped so parsed
+// postings become collectable, and every subsequent query method
+// returns ErrClosed. Close is idempotent and safe to call while
+// queries are in flight — they either complete or observe ErrClosed.
+func (r *IndexReader) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.runCache = nil
+	return nil
+}
+
+// checkClosed snapshots the closed flag.
+func (r *IndexReader) checkClosed() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	return nil
 }
 
 // DocLocation resolves a docID to its source container file, byte
@@ -280,26 +323,45 @@ func (r *IndexReader) DocLocation(doc uint32) (file string, offset, length uint3
 func (r *IndexReader) DocLens() []uint32 { return r.docLens }
 
 // run returns the parsed run file, loading and caching it on first
-// use — queries touching many terms then read each file once.
+// use — queries touching many terms then read each file once. The
+// per-file runSlot serializes the load while letting distinct files
+// parse concurrently.
 func (r *IndexReader) run(meta RunMeta) (*Run, error) {
 	r.mu.Lock()
-	if cached, ok := r.runCache[meta.File]; ok {
+	if r.closed {
 		r.mu.Unlock()
-		return cached, nil
+		return nil, ErrClosed
+	}
+	slot, ok := r.runCache[meta.File]
+	if !ok {
+		slot = &runSlot{}
+		r.runCache[meta.File] = slot
 	}
 	r.mu.Unlock()
-	data, err := os.ReadFile(filepath.Join(r.dir, meta.File))
-	if err != nil {
-		return nil, err
+	slot.once.Do(func() {
+		data, err := os.ReadFile(filepath.Join(r.dir, meta.File))
+		if err != nil {
+			slot.err = err
+			return
+		}
+		run, err := ParseRun(data)
+		if err != nil {
+			slot.err = fmt.Errorf("store: %s: %w", meta.File, err)
+			return
+		}
+		slot.run = run
+	})
+	if slot.err != nil {
+		// Do not pin a failed load: drop the slot so a later call can
+		// retry (transient I/O errors should not poison the cache).
+		r.mu.Lock()
+		if r.runCache[meta.File] == slot {
+			delete(r.runCache, meta.File)
+		}
+		r.mu.Unlock()
+		return nil, slot.err
 	}
-	run, err := ParseRun(data)
-	if err != nil {
-		return nil, fmt.Errorf("store: %s: %w", meta.File, err)
-	}
-	r.mu.Lock()
-	r.runCache[meta.File] = run
-	r.mu.Unlock()
-	return run, nil
+	return slot.run, nil
 }
 
 // Terms reports the dictionary size.
@@ -310,6 +372,22 @@ func (r *IndexReader) Dictionary() []DictEntry { return r.dict }
 
 // Runs exposes the doc-range map.
 func (r *IndexReader) Runs() []RunMeta { return r.runs }
+
+// LookupTerm resolves a normalized term to its dictionary entry. A
+// miss returns an error wrapping ErrTermNotFound — use this when the
+// caller must distinguish "unknown term" from "known term with no
+// postings in range"; Postings folds both into an empty list.
+func (r *IndexReader) LookupTerm(term string) (DictEntry, error) {
+	if err := r.checkClosed(); err != nil {
+		return DictEntry{}, err
+	}
+	coll := trie.IndexString(term)
+	e, ok := Lookup(r.dict, int32(coll), term)
+	if !ok {
+		return DictEntry{}, fmt.Errorf("store: %q: %w", term, ErrTermNotFound)
+	}
+	return e, nil
+}
 
 // Postings returns the full postings list of a term (stemmed, lowercase
 // — the caller applies the same normalization as indexing), merging
@@ -323,6 +401,9 @@ func (r *IndexReader) Postings(term string) (*postings.List, error) {
 // overlap [minDoc, maxDoc] — the paper's "faster search when narrowed
 // down to a range of document IDs" benefit of the per-run format.
 func (r *IndexReader) PostingsRange(term string, minDoc, maxDoc uint32) (*postings.List, error) {
+	if err := r.checkClosed(); err != nil {
+		return nil, err
+	}
 	coll := trie.IndexString(term)
 	stripped := string(trie.Strip(coll, []byte(term)))
 	_ = stripped // dictionary stores restored terms; lookup by full term
@@ -359,6 +440,9 @@ func (r *IndexReader) PostingsRange(term string, minDoc, maxDoc uint32) (*postin
 // post-processing step the paper prices at <10% of total time. It
 // returns the merged run for inspection.
 func (r *IndexReader) Merge() (*Run, error) {
+	if err := r.checkClosed(); err != nil {
+		return nil, err
+	}
 	type key struct {
 		coll uint32
 		slot uint32

@@ -8,7 +8,6 @@ package store
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -146,8 +145,9 @@ type Run struct {
 	lookup map[uint64]int // (coll<<32|slot) -> entry index
 }
 
-// ErrCorruptRun reports a malformed run file.
-var ErrCorruptRun = errors.New("store: corrupt run file")
+// ErrCorruptRun reports a malformed run file. It wraps
+// ErrCorruptIndex, so either sentinel matches via errors.Is.
+var ErrCorruptRun = fmt.Errorf("corrupt run file: %w", ErrCorruptIndex)
 
 // ParseRun decodes a run file produced by RunBuilder.Finalize.
 func ParseRun(data []byte) (*Run, error) {
