@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench fuzz experiments tools clean
+.PHONY: all build test race check bench fuzz differential experiments tools clean
 
 all: build test
 
@@ -39,6 +39,16 @@ fuzz:
 	$(GO) test ./internal/parser/ -fuzz FuzzGroupForEach -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzParseRun -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzReadDictionary -fuzztime 30s
+	$(GO) test ./internal/search/ -fuzz FuzzSearchQueries -fuzztime 30s
+
+# Tier-2 differential correctness sweep: the pipelined build vs the
+# reference indexer and all four baselines across 10 seeded corpora,
+# plus the fault-injection matrix, under the race detector. Any failure
+# prints its seed; reproduce with:
+#   go test ./internal/verify/ -run 'TestDifferential/seedN' -args -seeds 10
+differential:
+	$(GO) test ./internal/verify/ -race -count=1 -args -seeds 10
+	$(GO) run ./cmd/hetverify -seeds 10 -chaos
 
 # Paper-style tables and figures (EXPERIMENTS.md reference data).
 experiments:
@@ -50,6 +60,7 @@ tools:
 	$(GO) build -o bin/indexquery ./cmd/indexquery
 	$(GO) build -o bin/benchrunner ./cmd/benchrunner
 	$(GO) build -o bin/hetserve ./cmd/hetserve
+	$(GO) build -o bin/hetverify ./cmd/hetverify
 
 clean:
 	rm -rf bin

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -20,17 +22,34 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("corpusgen: ")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) || errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+var errUsage = errors.New("missing required flag")
+
+// run is main without the exit: every result line's write error is
+// propagated, so a full disk or a broken stdout pipe fails the command
+// instead of silently reporting success.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
 	var (
-		profile = flag.String("profile", "clueweb", "collection profile: clueweb | wikipedia | loc")
-		files   = flag.Int("files", 16, "number of container files")
-		scale   = flag.Float64("scale", 1.0, "size factor (documents per file and document length)")
-		out     = flag.String("out", "", "output directory (required)")
-		stats   = flag.Bool("stats", false, "print Table III statistics after generating")
+		profile = fs.String("profile", "clueweb", "collection profile: clueweb | wikipedia | loc")
+		files   = fs.Int("files", 16, "number of container files")
+		scale   = fs.Float64("scale", 1.0, "size factor (documents per file and document length)")
+		outDir  = fs.String("out", "", "output directory (required)")
+		stats   = fs.Bool("stats", false, "print Table III statistics after generating")
 	)
-	flag.Parse()
-	if *out == "" {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		fs.Usage()
+		return errUsage
 	}
 	var p fastinvert.Profile
 	switch *profile {
@@ -41,24 +60,30 @@ func main() {
 	case "loc":
 		p = fastinvert.LibraryOfCongressProfile(*scale)
 	default:
-		log.Fatalf("unknown profile %q (want clueweb, wikipedia or loc)", *profile)
+		return fmt.Errorf("unknown profile %q (want clueweb, wikipedia or loc)", *profile)
 	}
-	n, err := fastinvert.WriteCorpus(p, *files, *out)
+	n, err := fastinvert.WriteCorpus(p, *files, *outDir)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %d files (%.2f MB stored) to %s\n", *files, float64(n)/(1<<20), *out)
+	if _, err := fmt.Fprintf(out, "wrote %d files (%.2f MB stored) to %s\n",
+		*files, float64(n)/(1<<20), *outDir); err != nil {
+		return fmt.Errorf("writing report: %w", err)
+	}
 
 	if *stats {
-		src, err := fastinvert.OpenCorpusDir(*out)
+		src, err := fastinvert.OpenCorpusDir(*outDir)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		st, err := fastinvert.CorpusStats(src)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("documents: %d\nterms:     %d\ntokens:    %d\nuncompressed: %.2f MB\n",
-			st.Documents, st.Terms, st.Tokens, float64(st.UncompressedSize)/(1<<20))
+		if _, err := fmt.Fprintf(out, "documents: %d\nterms:     %d\ntokens:    %d\nuncompressed: %.2f MB\n",
+			st.Documents, st.Terms, st.Tokens, float64(st.UncompressedSize)/(1<<20)); err != nil {
+			return fmt.Errorf("writing stats: %w", err)
+		}
 	}
+	return nil
 }

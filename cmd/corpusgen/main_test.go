@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failWriter errors after n bytes — a stand-in for a full disk or a
+// closed pipe on the report stream.
+type failWriter struct{ n int }
+
+var errSink = errors.New("sink failed")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errSink
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestRunSuccess(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	var out bytes.Buffer
+	err := run([]string{"-profile", "clueweb", "-files", "2", "-scale", "0.05",
+		"-out", dir, "-stats"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "wrote 2 files") || !strings.Contains(got, "documents:") {
+		t.Errorf("unexpected output:\n%s", got)
+	}
+}
+
+// TestRunPropagatesWriteError is the regression test for the silent
+// exit-0 on output write failure: run must surface the sink's error.
+func TestRunPropagatesWriteError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "corpus")
+	err := run([]string{"-files", "1", "-scale", "0.05", "-out", dir}, &failWriter{})
+	if !errors.Is(err, errSink) {
+		t.Fatalf("run with failing writer = %v, want errSink", err)
+	}
+	// Same with the error landing on the stats lines.
+	err = run([]string{"-files", "1", "-scale", "0.05", "-out", dir, "-stats"},
+		&failWriter{n: 64})
+	if !errors.Is(err, errSink) {
+		t.Fatalf("run with failing stats writer = %v, want errSink", err)
+	}
+}
+
+func TestRunBadOutDir(t *testing.T) {
+	// A regular file where the output directory should go: the
+	// directory create must fail and the error must propagate.
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(blocker, "sub")
+	if err := run([]string{"-files", "1", "-out", bad}, &bytes.Buffer{}); err == nil {
+		t.Fatal("run into a path under a regular file succeeded")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-files", "1"}, &bytes.Buffer{}); !errors.Is(err, errUsage) {
+		t.Errorf("missing -out: got %v, want errUsage", err)
+	}
+	if err := run([]string{"-profile", "nope", "-out", t.TempDir()}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}

@@ -1,6 +1,8 @@
 package fastinvert_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -68,4 +70,37 @@ func ExampleBuilder_Build() {
 		report.Docs, len(top) > 0)
 	// Output:
 	// indexed 256 docs; top query hit exists: true
+}
+
+// ExampleBuilder_BuildContext builds under a context, then shows the
+// cancellation contract: a canceled context aborts the build with
+// context.Canceled and no partial index left behind to open.
+func ExampleBuilder_BuildContext() {
+	dir, err := os.MkdirTemp("", "fastinvert-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	opts := fastinvert.DefaultOptions()
+	opts.OutDir = dir
+	builder, err := fastinvert.NewBuilder(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := fastinvert.GenerateCorpus(fastinvert.ClueWeb09Profile(1), 2)
+
+	report, err := builder.BuildContext(context.Background(), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d docs\n", report.Docs)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = builder.BuildContext(canceled, src)
+	fmt.Printf("canceled build: %v\n", errors.Is(err, context.Canceled))
+	// Output:
+	// indexed 128 docs
+	// canceled build: true
 }

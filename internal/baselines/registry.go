@@ -1,0 +1,30 @@
+package baselines
+
+import "fastinvert/internal/corpus"
+
+// BuildFunc is the common build interface every baseline satisfies
+// once its tuning knobs are bound: a complete index build from a
+// corpus source. The differential harness (internal/verify) iterates
+// baselines through this seam without knowing their parameters.
+type BuildFunc func(src corpus.Source) (*Result, error)
+
+// NamedBuilder pairs a baseline with a stable display name.
+type NamedBuilder struct {
+	Name  string
+	Build BuildFunc
+}
+
+// All returns every baseline under its default tuning, plus one
+// stressed variant each for the run-based indexers (a tiny memory
+// budget forces multi-run merging, the code path where docID order is
+// easiest to lose).
+func All() []NamedBuilder {
+	return []NamedBuilder{
+		{"spimi", func(src corpus.Source) (*Result, error) { return SPIMI(src, 0) }},
+		{"spimi-tiny", func(src corpus.Source) (*Result, error) { return SPIMI(src, 16<<10) }},
+		{"sort-based", func(src corpus.Source) (*Result, error) { return SortBased(src, 0) }},
+		{"sort-based-tiny", func(src corpus.Source) (*Result, error) { return SortBased(src, 8<<10) }},
+		{"single-pass-mr", func(src corpus.Source) (*Result, error) { return SinglePassMR(src, 3) }},
+		{"ivory-mr", func(src corpus.Source) (*Result, error) { return IvoryMR(src, 4) }},
+	}
+}

@@ -60,6 +60,11 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// A derived context lets the sequencer tear the whole pipeline
+	// down on ANY terminal error — not just caller cancellation — so
+	// a failed build never strands the disk or parser goroutines.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	rep := &Report{Files: src.NumFiles()}
 	e.docLens = e.docLens[:0]
 	e.docFiles = e.docFiles[:0]
@@ -143,14 +148,17 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 		close(results)
 	}()
 
-	// abort tears the pipeline down after cancellation: with ctx done
-	// the disk goroutine exits and closes the parser inputs, so
-	// draining results until close guarantees no stage goroutine is
-	// left blocked on a send.
-	abort := func() error {
+	// fail tears the pipeline down before surfacing err: canceling the
+	// derived context makes the disk goroutine exit and close the
+	// parser inputs, so draining results until close guarantees no
+	// stage goroutine is left blocked on a send. Every terminal error
+	// path — caller cancellation, read/parse faults, indexer or writer
+	// failures — funnels through here.
+	fail := func(err error) error {
+		cancel()
 		for range results {
 		}
-		return ctx.Err()
+		return err
 	}
 
 	// Sequencer: consume blocks in file order, index shares in
@@ -161,7 +169,7 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 	next := 0
 	for next < n {
 		if ctx.Err() != nil {
-			return nil, abort()
+			return nil, fail(ctx.Err())
 		}
 		pf, ok := pending[next]
 		if !ok {
@@ -175,24 +183,27 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 				}
 				pending[r.f] = r
 			case <-ctx.Done():
-				return nil, abort()
+				return nil, fail(ctx.Err())
 			}
 			continue
 		}
 		delete(pending, next)
 		if pf.err != nil {
-			return nil, pf.err
+			return nil, fail(pf.err)
 		}
 		rep.CompressedBytes += int64(pf.stored)
 		rep.UncompressedBytes += int64(pf.plain)
 		rep.Docs += int64(pf.docs)
 		rep.Tokens += int64(pf.blk.Tokens)
 
+		if err := e.cfg.Hooks.beforeIndex(pf.f); err != nil {
+			return nil, fail(err)
+		}
 		if err := e.indexBlockConcurrent(pf.blk, docBase, &pf.item, rep); err != nil {
-			return nil, err
+			return nil, fail(err)
 		}
 		if err := e.postProcessBlock(&pf, docBase, src.FileName(pf.f), rep, writer); err != nil {
-			return nil, err
+			return nil, fail(err)
 		}
 		docBase += uint32(pf.docs)
 		items = append(items, pf.item)
@@ -254,6 +265,9 @@ func (e *Engine) parseOne(psr *parser.Parser, f int, stored []byte, gz bool, rea
 	pf.byteLens = make([]int, len(docs))
 	for d, doc := range docs {
 		pf.byteLens[d] = len(doc)
+	}
+	if err := e.cfg.Hooks.afterParse(f); err != nil {
+		pf.err = err
 	}
 	return pf
 }
@@ -327,6 +341,9 @@ func (e *Engine) splitShares(blk *parser.Block) (cpuShares, gpuShares [][]*parse
 // combine postings, compress, write the run file, account stats.
 func (e *Engine) postProcessBlock(pf *parsedFile, docBase uint32,
 	fileName string, rep *Report, writer *store.IndexWriter) error {
+	if err := e.cfg.Hooks.beforeWriteRun(pf.f); err != nil {
+		return err
+	}
 	blk, docs, plainLen, item := pf.blk, pf.docs, pf.plain, &pf.item
 
 	// Record document lengths (BM25 normalization) and the Step 1

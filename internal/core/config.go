@@ -105,6 +105,52 @@ type Config struct {
 	// way the paper's threads do. Timing reports are modeled
 	// identically in both modes.
 	Concurrent bool
+
+	// Hooks exposes fault-injection points inside the pipeline stages,
+	// used by the differential verification harness (internal/verify)
+	// to prove the build either completes correctly or fails cleanly.
+	// nil (the normal case) is a no-op.
+	Hooks *Hooks
+}
+
+// Hooks are optional callbacks fired at the pipeline's stage
+// boundaries. A hook returning a non-nil error aborts the build with
+// that error after the stage goroutines drain — no goroutine may be
+// left behind. Hooks run on stage goroutines in the concurrent
+// executor and must be safe for concurrent use.
+type Hooks struct {
+	// AfterParse fires in the parser stage once file f is parsed,
+	// before its block is handed to the sequencer.
+	AfterParse func(file int) error
+
+	// BeforeIndex fires in the sequencer before file f's block fans
+	// out to the indexers (the indexer-buffer boundary).
+	BeforeIndex func(file int) error
+
+	// BeforeWriteRun fires before file f's run is combined,
+	// compressed and written (the store-writer boundary).
+	BeforeWriteRun func(file int) error
+}
+
+func (h *Hooks) afterParse(f int) error {
+	if h == nil || h.AfterParse == nil {
+		return nil
+	}
+	return h.AfterParse(f)
+}
+
+func (h *Hooks) beforeIndex(f int) error {
+	if h == nil || h.BeforeIndex == nil {
+		return nil
+	}
+	return h.BeforeIndex(f)
+}
+
+func (h *Hooks) beforeWriteRun(f int) error {
+	if h == nil || h.BeforeWriteRun == nil {
+		return nil
+	}
+	return h.BeforeWriteRun(f)
 }
 
 // DefaultConfig mirrors the paper's best configuration (§IV.C): six

@@ -134,6 +134,9 @@ func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, 
 
 		// Index: every indexer consumes its share of this block,
 		// serially here (BuildConcurrent overlaps them).
+		if err := e.cfg.Hooks.beforeIndex(f); err != nil {
+			return nil, err
+		}
 		cpuShares, gpuShares := e.splitShares(pf.blk)
 		for i, ix := range e.cpuIxs {
 			t := time.Now()

@@ -1,0 +1,158 @@
+package reference
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"fastinvert/internal/corpus"
+)
+
+// literalSource serves hand-written documents split across files.
+type literalSource struct {
+	files [][]string
+}
+
+func (s *literalSource) NumFiles() int         { return len(s.files) }
+func (s *literalSource) FileName(i int) string { return "ref-test.txt" }
+func (s *literalSource) ReadFile(i int) ([]byte, bool, error) {
+	var sb strings.Builder
+	for _, d := range s.files[i] {
+		sb.WriteString(corpus.DocDelim)
+		sb.WriteString(d)
+	}
+	return []byte(sb.String()), false, nil
+}
+
+func smallSource() *literalSource {
+	return &literalSource{files: [][]string{
+		{"gpu indexing accelerates inverted files", "indexing again here"},
+		{"more gpu text", "inverted files on heterogeneous platforms"},
+	}}
+}
+
+func TestBuildFromSource(t *testing.T) {
+	idx, err := BuildFromSource(smallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Docs != 4 {
+		t.Errorf("Docs = %d, want 4", idx.Docs)
+	}
+	if idx.Terms() == 0 || idx.Tokens == 0 {
+		t.Fatalf("degenerate index: %d terms, %d tokens", idx.Terms(), idx.Tokens)
+	}
+	// "gpu" appears in docs 0 (file 0) and 2 (file 1): docBase must
+	// offset the second file's docIDs.
+	l := idx.Lists["gpu"]
+	if l == nil || len(l.DocIDs) != 2 || l.DocIDs[0] != 0 || l.DocIDs[1] != 2 {
+		t.Errorf("gpu postings = %+v, want docs [0 2]", l)
+	}
+	// "indexing" appears twice in separate docs of file 0.
+	l = idx.Lists["index"]
+	if l == nil || len(l.DocIDs) != 2 || l.DocIDs[0] != 0 || l.DocIDs[1] != 1 {
+		t.Errorf("index postings = %+v, want docs [0 1]", l)
+	}
+	// Stop words never get postings.
+	if idx.Lists["on"] != nil {
+		t.Error("stop word 'on' was indexed")
+	}
+	// Every list must be docID-sorted strictly ascending.
+	for term, l := range idx.Lists {
+		for i := 1; i < len(l.DocIDs); i++ {
+			if l.DocIDs[i] <= l.DocIDs[i-1] {
+				t.Errorf("term %q postings unsorted: %v", term, l.DocIDs)
+			}
+		}
+	}
+}
+
+func TestSortedTerms(t *testing.T) {
+	idx, err := BuildFromSource(smallSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := idx.SortedTerms()
+	if len(terms) != idx.Terms() {
+		t.Fatalf("SortedTerms returned %d of %d terms", len(terms), idx.Terms())
+	}
+	if !sort.StringsAreSorted(terms) {
+		t.Errorf("terms not sorted: %v", terms)
+	}
+}
+
+func TestBuildPositional(t *testing.T) {
+	idx, err := BuildPositionalFromSource(&literalSource{files: [][]string{
+		{"alpha beta alpha gamma"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := idx.Lists["alpha"]
+	if l == nil || !l.Positional() {
+		t.Fatalf("positional build lost positions: %+v", l)
+	}
+	if len(l.Positions) != 1 || len(l.Positions[0]) != 2 ||
+		l.Positions[0][0] != 0 || l.Positions[0][1] != 2 {
+		t.Errorf("alpha positions = %v, want [[0 2]]", l.Positions)
+	}
+	if l.TFs[0] != 2 {
+		t.Errorf("alpha TF = %d, want 2", l.TFs[0])
+	}
+}
+
+func TestEqualDetectsMutations(t *testing.T) {
+	build := func() *Index {
+		idx, err := BuildFromSource(smallSource())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	idx := build()
+	if ok, at := idx.Equal(build().Lists); !ok {
+		t.Fatalf("index not equal to an identical rebuild (at %q)", at)
+	}
+
+	mutations := []func(*Index){
+		func(o *Index) { delete(o.Lists, "gpu") },
+		func(o *Index) { o.Lists["gpu"].DocIDs[0]++ },
+		func(o *Index) { o.Lists["gpu"].TFs[0]++ },
+		func(o *Index) {
+			l := o.Lists["gpu"]
+			l.DocIDs = l.DocIDs[:1]
+			l.TFs = l.TFs[:1]
+		},
+	}
+	for i, mutate := range mutations {
+		other := build()
+		mutate(other)
+		if ok, _ := idx.Equal(other.Lists); ok {
+			t.Errorf("mutation %d not detected by Equal", i)
+		}
+	}
+}
+
+func TestEqualPositional(t *testing.T) {
+	src := &literalSource{files: [][]string{{"alpha beta alpha"}}}
+	pos, err := BuildPositionalFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := BuildFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Positional vs non-positional lists must not compare equal.
+	if ok, _ := pos.Equal(flat.Lists); ok {
+		t.Error("positional index compared equal to a flat one")
+	}
+	other, err := BuildPositionalFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Lists["alpha"].Positions[0][1]++
+	if ok, _ := pos.Equal(other.Lists); ok {
+		t.Error("position mutation not detected by Equal")
+	}
+}

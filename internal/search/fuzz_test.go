@@ -1,0 +1,66 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzSearchQueries throws random and/or/phrase/topk/prefix queries at
+// a small fixed index: no input may panic, and any error must be one
+// of the package's typed sentinels (or a context error). Two searchers
+// cover both sides of the positional split, so phrase queries exercise
+// the position-decoding path and the ErrNotPositional path.
+func FuzzSearchQueries(f *testing.F) {
+	positional := buildPositionalIndex(f, []string{
+		"gpu indexing accelerates inverted files",
+		"the quick brown fox jumps over the lazy dog",
+		"indexing gpu systems differ wildly",
+		"",
+		"héllo 日本語 data 42 a_b-c.d running runner",
+	})
+	idx, _ := buildIndex(f)
+	flat := New(idx)
+
+	f.Add("gpu indexing", byte(0), 5)
+	f.Add("the and of", byte(1), 1)
+	f.Add("quick brown fox", byte(2), 3)
+	f.Add("", byte(3), 0)
+	f.Add("héllo\x00\xff 日本", byte(4), -7)
+	f.Add(strings.Repeat("z", 400), byte(5), 1<<20)
+	f.Add("missing terms only here", byte(2), 10)
+
+	f.Fuzz(func(t *testing.T, query string, op byte, k int) {
+		words := strings.Fields(query)
+		if len(words) > 8 {
+			words = words[:8] // bound cost, not behavior
+		}
+		for _, s := range []*Searcher{positional, flat} {
+			var err error
+			switch op % 6 {
+			case 0:
+				_, err = s.And(words...)
+			case 1:
+				_, err = s.Or(words...)
+			case 2:
+				_, err = s.Phrase(words...)
+			case 3:
+				_, err = s.TopK(k, words...)
+			case 4:
+				if len(words) > 0 {
+					_, err = s.Postings(words[0])
+				}
+			case 5:
+				s.MatchPrefix(query, k)
+			}
+			if err != nil &&
+				!errors.Is(err, ErrNotPositional) &&
+				!errors.Is(err, ErrInvalidK) &&
+				!errors.Is(err, context.Canceled) &&
+				!errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("untyped error from op %d on %q: %v", op%6, words, err)
+			}
+		}
+	})
+}

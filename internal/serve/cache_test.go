@@ -120,3 +120,74 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Fatal("cache ended empty")
 	}
 }
+
+// TestCacheConcurrentBudgetBoundary races Put/Get/Stats right at the
+// per-shard byte budget, where every insert can evict: list sizes vary
+// so entries straddle the boundary, one list is bigger than a whole
+// shard and must never be admitted, and some goroutines refresh the
+// same hot terms with different sizes. Afterwards every shard must
+// satisfy its structural invariants exactly (run with -race).
+func TestCacheConcurrentBudgetBoundary(t *testing.T) {
+	const shards = 4
+	// Budget: about 6 ten-entry lists per shard, so the working set of
+	// 64 terms cannot fit and evictions run continuously.
+	c := NewPostingsCache(shards, shards*6*ListBytes(listOfLen(10)))
+	perShard := c.shards[0].maxBytes
+	oversize := listOfLen(int(perShard)) // > perShard bytes by construction
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				switch term := fmt.Sprintf("t%d", (g*17+i)%64); i % 5 {
+				case 0:
+					c.Put(term, listOfLen(1+i%20)) // straddles the boundary
+				case 1:
+					c.Put("hot", listOfLen(1+i%30)) // same-term refresh, varying size
+				case 2:
+					c.Put("giant", oversize) // must be rejected, never evict others
+				case 3:
+					c.Get(term)
+					c.Get("giant")
+				case 4:
+					c.Stats() // walks every shard while others mutate
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if _, ok := c.Get("giant"); ok {
+		t.Error("oversize list was admitted")
+	}
+	var wantBytes int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if s.bytes > s.maxBytes {
+			t.Errorf("shard %d over budget: %d > %d", i, s.bytes, s.maxBytes)
+		}
+		if len(s.entries) != s.lru.Len() {
+			t.Errorf("shard %d map/LRU out of sync: %d entries, %d LRU nodes",
+				i, len(s.entries), s.lru.Len())
+		}
+		var sum int64
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*cacheEntry)
+			sum += e.size
+			if s.entries[e.term] != el {
+				t.Errorf("shard %d: LRU node for %q not indexed by the map", i, e.term)
+			}
+		}
+		if sum != s.bytes {
+			t.Errorf("shard %d byte accounting drifted: tracked %d, actual %d", i, s.bytes, sum)
+		}
+		wantBytes += s.bytes
+		s.mu.Unlock()
+	}
+	if st := c.Stats(); st.Bytes != wantBytes {
+		t.Errorf("Stats.Bytes = %d, want %d", st.Bytes, wantBytes)
+	}
+}

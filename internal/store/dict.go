@@ -3,7 +3,6 @@ package store
 import (
 	"bufio"
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -84,8 +83,11 @@ func WriteDictionary(w io.Writer, entries []DictEntry) error {
 	return bw.Flush()
 }
 
-// ErrCorruptDict reports a malformed dictionary file.
-var ErrCorruptDict = errors.New("store: corrupt dictionary")
+// ErrCorruptDict reports a malformed dictionary file. It wraps
+// ErrCorruptIndex, so either sentinel matches via errors.Is — a
+// truncated or bit-flipped dictionary surfaces as index corruption to
+// callers that only know the public sentinel.
+var ErrCorruptDict = fmt.Errorf("corrupt dictionary: %w", ErrCorruptIndex)
 
 // ReadDictionary parses a dictionary file.
 func ReadDictionary(r io.Reader) ([]DictEntry, error) {

@@ -1,0 +1,339 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"fastinvert/internal/core"
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/reference"
+	"fastinvert/internal/store"
+)
+
+// ErrInjected marks a fault introduced by the chaos layer. A build hit
+// by an injected stage fault must surface an error wrapping this
+// sentinel — anything else (a different error, a success, a hang, a
+// leaked goroutine) is a harness failure.
+var ErrInjected = errors.New("verify: injected fault")
+
+// Fault selects what the chaos layer breaks.
+type Fault int
+
+const (
+	// FaultNone runs the pipeline untouched; the outcome must be a
+	// verified-correct index (the chaos control group).
+	FaultNone Fault = iota
+
+	// FaultSlowRead delays every container-file read by Delay without
+	// corrupting anything; the build must still complete correctly
+	// (the pipeline may reorder internally but not its output).
+	FaultSlowRead
+
+	// FaultReadError fails the source read of file At.
+	FaultReadError
+
+	// FaultParseError fails the parser stage at file At.
+	FaultParseError
+
+	// FaultIndexError fails the indexer hand-off at file At.
+	FaultIndexError
+
+	// FaultWriteError fails the store writer at file At.
+	FaultWriteError
+
+	// FaultCancel cancels the build context after At files are read.
+	FaultCancel
+
+	// FaultTruncateRun truncates a run file after a clean build; the
+	// reopened index must fail with ErrCorruptIndex.
+	FaultTruncateRun
+
+	// FaultBitFlipRun flips one bit inside a run file's CRC-covered
+	// region (table + blob) after a clean build.
+	FaultBitFlipRun
+
+	// FaultTruncateDict truncates the dictionary after a clean build.
+	FaultTruncateDict
+
+	// FaultGarbageDocmap overwrites docmap.json with invalid JSON
+	// after a clean build.
+	FaultGarbageDocmap
+)
+
+// String names the fault for reports.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultSlowRead:
+		return "slow-read"
+	case FaultReadError:
+		return "read-error"
+	case FaultParseError:
+		return "parse-error"
+	case FaultIndexError:
+		return "index-error"
+	case FaultWriteError:
+		return "write-error"
+	case FaultCancel:
+		return "cancel"
+	case FaultTruncateRun:
+		return "truncate-run"
+	case FaultBitFlipRun:
+		return "bitflip-run"
+	case FaultTruncateDict:
+		return "truncate-dict"
+	case FaultGarbageDocmap:
+		return "garbage-docmap"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// ChaosConfig selects one injected fault.
+type ChaosConfig struct {
+	Fault Fault
+	// At is the file index a stage fault fires on (read/parse/index/
+	// write/cancel faults).
+	At int
+	// Delay is the per-read latency for FaultSlowRead.
+	Delay time.Duration
+	// Seed drives the corruption position for FaultBitFlipRun.
+	Seed int64
+}
+
+// ChaosResult is the audited outcome of one chaos run.
+type ChaosResult struct {
+	Fault ChaosConfig
+
+	// Err is the terminal error observed: the build error for stage
+	// faults, the reopen/verify error for corruption faults, nil when
+	// the pipeline completed (and was then verified correct).
+	Err error
+
+	// Correct is set when the run produced an index that passed the
+	// structural check and matched the reference build.
+	Correct bool
+
+	// TypedError is set when Err matches an accepted sentinel:
+	// ErrInjected, context.Canceled, context.DeadlineExceeded or
+	// store.ErrCorruptIndex.
+	TypedError bool
+
+	// LeakedGoroutines counts goroutines still alive (beyond the
+	// pre-run baseline) after a settle window; 0 is the requirement.
+	LeakedGoroutines int
+}
+
+// OK reports the chaos invariant: a correct index or a typed error,
+// and no goroutine leaks.
+func (r *ChaosResult) OK() bool {
+	return (r.Correct || r.TypedError) && r.LeakedGoroutines == 0
+}
+
+// String renders the outcome.
+func (r *ChaosResult) String() string {
+	state := "typed error"
+	if r.Correct {
+		state = "verified correct"
+	} else if !r.TypedError {
+		state = fmt.Sprintf("UNTYPED error: %v", r.Err)
+	}
+	return fmt.Sprintf("%s@%d: %s (err=%v, leaked=%d)",
+		r.Fault.Fault, r.Fault.At, state, r.Err, r.LeakedGoroutines)
+}
+
+// chaosSource wraps the corpus to inject read-stage faults. ReadFile
+// is called from the sampling phase and the disk goroutine; the
+// injected behaviors must therefore be safe under either caller.
+type chaosSource struct {
+	corpus.Source
+	chaos  ChaosConfig
+	cancel context.CancelFunc
+}
+
+func (s *chaosSource) ReadFile(i int) ([]byte, bool, error) {
+	switch s.chaos.Fault {
+	case FaultSlowRead:
+		time.Sleep(s.chaos.Delay)
+	case FaultReadError:
+		if i == s.chaos.At {
+			return nil, false, fmt.Errorf("read file %d: %w", i, ErrInjected)
+		}
+	case FaultCancel:
+		if i == s.chaos.At {
+			s.cancel()
+		}
+	}
+	return s.Source.ReadFile(i)
+}
+
+// RunChaos executes one build under an injected fault and audits the
+// outcome: the pipeline must end in a verified-correct index or a
+// typed error, with every stage goroutine drained.
+func RunChaos(ctx context.Context, cfg Config, chaos ChaosConfig) (*ChaosResult, error) {
+	if cfg.Gen == (GenConfig{}) {
+		cfg.Gen = DefaultGenConfig(cfg.Seed)
+	}
+	cfg.Seed = cfg.Gen.Seed
+
+	tmp, err := os.MkdirTemp("", "hetchaos-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+	outDir := filepath.Join(tmp, "idx")
+
+	res := &ChaosResult{Fault: chaos}
+	before := runtime.NumGoroutine()
+
+	buildCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	src := &chaosSource{Source: NewSource(cfg.Gen), chaos: chaos, cancel: cancel}
+
+	stageFault := func(fault Fault) func(int) error {
+		if chaos.Fault != fault {
+			return nil
+		}
+		return func(f int) error {
+			if f == chaos.At {
+				return fmt.Errorf("%s at file %d: %w", fault, f, ErrInjected)
+			}
+			return nil
+		}
+	}
+	hooks := &core.Hooks{
+		AfterParse:     stageFault(FaultParseError),
+		BeforeIndex:    stageFault(FaultIndexError),
+		BeforeWriteRun: stageFault(FaultWriteError),
+	}
+
+	_, buildErr := buildPipeline(buildCtx, cfg, src, outDir, hooks)
+	res.LeakedGoroutines = settleGoroutines(before)
+	res.Err = buildErr
+
+	if buildErr == nil {
+		// The build survived (fault never fired, was benign, or was
+		// post-build corruption). Corrupt now if asked, then audit.
+		if err := injectCorruption(outDir, chaos); err != nil {
+			return nil, err
+		}
+		res.Err = auditIndex(outDir, cfg, src.Source)
+		res.Correct = res.Err == nil
+	}
+	res.TypedError = res.Err != nil &&
+		(errors.Is(res.Err, ErrInjected) ||
+			errors.Is(res.Err, context.Canceled) ||
+			errors.Is(res.Err, context.DeadlineExceeded) ||
+			errors.Is(res.Err, store.ErrCorruptIndex))
+	return res, nil
+}
+
+// auditIndex verifies structural invariants and reference equality of
+// a completed build. nil means verified correct.
+func auditIndex(outDir string, cfg Config, src corpus.Source) error {
+	if _, err := store.Verify(outDir); err != nil {
+		return err
+	}
+	got, err := readBack(outDir)
+	if err != nil {
+		return err
+	}
+	var ref *reference.Index
+	if cfg.Positional {
+		ref, err = reference.BuildPositionalFromSource(src)
+	} else {
+		ref, err = reference.BuildFromSource(src)
+	}
+	if err != nil {
+		return fmt.Errorf("verify: reference build: %w", err)
+	}
+	if rep := DiffLists("reference", got, ref.Lists, 4); !rep.OK() {
+		return fmt.Errorf("verify: completed index differs: %s", rep)
+	}
+	return nil
+}
+
+// settleGoroutines waits for the goroutine count to return to the
+// pre-run baseline and reports the excess that never drained. The
+// window is generous because parser goroutines may still be parsing a
+// large block when the sequencer aborts.
+func settleGoroutines(before int) int {
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= before {
+			return 0
+		}
+		if time.Now().After(deadline) {
+			return n - before
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// injectCorruption damages the persisted index per the fault kind.
+func injectCorruption(dir string, chaos ChaosConfig) error {
+	switch chaos.Fault {
+	case FaultTruncateRun, FaultBitFlipRun:
+		name, err := firstRunFile(dir)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if chaos.Fault == FaultTruncateRun {
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		}
+		// Flip one bit inside the CRC-covered region (everything past
+		// the 24-byte header); header fields like the doc range are
+		// deliberately NOT covered by the checksum, so only this
+		// region guarantees detection.
+		const runHdr = 24
+		if len(data) <= runHdr {
+			return fmt.Errorf("verify: run file %s too small to corrupt", name)
+		}
+		rng := rand.New(rand.NewSource(chaos.Seed ^ 0xB17F11B))
+		bit := runHdr*8 + rng.Intn((len(data)-runHdr)*8)
+		data[bit/8] ^= 1 << (bit % 8)
+		return os.WriteFile(path, data, 0o644)
+	case FaultTruncateDict:
+		path := filepath.Join(dir, "dictionary.fidc")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, data[:len(data)/2], 0o644)
+	case FaultGarbageDocmap:
+		return os.WriteFile(filepath.Join(dir, "docmap.json"), []byte("{not json"), 0o644)
+	}
+	return nil
+}
+
+// firstRunFile returns the lexically first run file in the index dir.
+func firstRunFile(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var runs []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".post" {
+			runs = append(runs, e.Name())
+		}
+	}
+	if len(runs) == 0 {
+		return "", fmt.Errorf("verify: no run files in %s", dir)
+	}
+	sort.Strings(runs)
+	return runs[0], nil
+}
