@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check bench fuzz differential experiments tools clean
+.PHONY: all build test race check lint smoke bench fuzz differential experiments tools clean
 
 all: build test
 
@@ -17,14 +17,35 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Everything CI runs (.github/workflows/ci.yml): formatting, vet,
-# build, and the full race-enabled test suite.
-check:
+# Formatting + static analysis: gofmt, go vet, and staticcheck when it
+# is on PATH (optional — nothing is vendored for it).
+lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "staticcheck not on PATH; skipped"; fi
+
+# Telemetry smoke: build a tiny corpus with tracing and metrics armed,
+# then gate the JSONL trace on schema shape and the >=90% busy+stall
+# wall-clock coverage invariant, and the Prometheus snapshot on its
+# summary gauge.
+smoke:
+	@tmp=$$(mktemp -d); rc=0; \
+	{ $(GO) run ./cmd/hetindex -files 2 -scale 0.25 -concurrent \
+		-out $$tmp/index -trace $$tmp/trace.jsonl -metrics $$tmp/metrics.prom >/dev/null \
+	&& $(GO) run ./cmd/tracecheck -min-coverage 0.9 $$tmp/trace.jsonl \
+	&& grep -q '^fastinvert_build_wall_seconds ' $$tmp/metrics.prom \
+	&& echo "smoke OK"; } || rc=1; \
+	rm -rf $$tmp; exit $$rc
+
+# Everything CI runs (.github/workflows/ci.yml): lint, build, the full
+# race-enabled test suite, and the telemetry smoke gate.
+check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(MAKE) smoke
 
 # One pass over every table/figure/ablation benchmark with metrics.
 bench:
@@ -61,6 +82,7 @@ tools:
 	$(GO) build -o bin/benchrunner ./cmd/benchrunner
 	$(GO) build -o bin/hetserve ./cmd/hetserve
 	$(GO) build -o bin/hetverify ./cmd/hetverify
+	$(GO) build -o bin/tracecheck ./cmd/tracecheck
 
 clean:
 	rm -rf bin

@@ -8,6 +8,8 @@
 //	benchrunner -table 4 -files 16 -scale 1
 //	benchrunner -fig 10
 //	benchrunner -ablations
+//	benchrunner -json BENCH_stages.json   machine-readable throughput +
+//	                                      per-stage busy/stall/utilization breakdowns
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 		files      = flag.Int("files", 16, "container files per collection")
 		scale      = flag.Float64("scale", 1.0, "collection size factor")
 		trials     = flag.Int("trials", 2, "trials per configuration (best kept)")
+		jsonOut    = flag.String("json", "", "write BENCH_*.json stage-level benchmark (throughput + per-stage breakdowns) to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 	s := experiments.Scale{Files: *files, Factor: *scale}
@@ -145,6 +148,20 @@ func main() {
 	}
 	if *ablations && !*all {
 		runAblations()
+	}
+	if *jsonOut != "" {
+		ran = true
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			check(err)
+			defer f.Close()
+			out = f
+		}
+		check(experiments.WriteStageBenchJSON(out, s))
+		if *jsonOut != "-" {
+			fmt.Printf("stage benchmark written to %s\n", *jsonOut)
+		}
 	}
 	if !ran {
 		flag.Usage()

@@ -8,6 +8,13 @@
 // Without -corpus, a synthetic ClueWeb09-like collection is generated
 // in memory (-files, -scale control its size), which makes the command
 // a self-contained demonstration.
+//
+// Observability:
+//
+//	-progress          live build ticker: docs/s, MB/s, ETA, per-stage utilization
+//	-metrics FILE      Prometheus text snapshot of the build metrics ("-" = stdout)
+//	-trace FILE        JSONL build trace: per-stage spans (busy + derived stalls),
+//	                   buffer-occupancy samples, per-collection token skew
 package main
 
 import (
@@ -15,9 +22,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"fastinvert"
 	"fastinvert/internal/gpu"
+	"fastinvert/internal/telemetry"
 )
 
 func main() {
@@ -35,7 +47,9 @@ func main() {
 		positional = flag.Bool("positional", false, "build positional postings (enables phrase queries)")
 		concurrent = flag.Bool("concurrent", false, "run the goroutine-parallel executor")
 		verify     = flag.Bool("verify", false, "run an integrity check on the written index")
-		progress   = flag.Bool("progress", false, "print per-file progress while building")
+		progress   = flag.Bool("progress", false, "print a live progress ticker while building")
+		metricsOut = flag.String("metrics", "", "write a Prometheus metrics snapshot to this file (\"-\" = stdout)")
+		traceOut   = flag.String("trace", "", "write a JSONL build trace to this file")
 		verbose    = flag.Bool("v", false, "print the per-file throughput series")
 	)
 	flag.Parse()
@@ -58,23 +72,39 @@ func main() {
 	opts.OutDir = *out
 	opts.Positional = *positional
 	opts.Concurrent = *concurrent
-	if *progress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rindexed %d/%d files", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
-	}
 	g := gpu.TeslaC1060()
 	g.DeviceMemBytes = *gpuMem << 20
 	opts.GPU = g
+
+	// Any observability flag arms the collector; the build itself pays
+	// one nil check per stage boundary otherwise.
+	var col *telemetry.Collector
+	var tw *telemetry.TraceWriter
+	reg := telemetry.NewRegistry()
+	if *progress || *metricsOut != "" || *traceOut != "" {
+		if *traceOut != "" {
+			tw, err = telemetry.CreateTrace(*traceOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		col = telemetry.NewCollector(reg, tw)
+		opts.Observer = col
+	}
 
 	b, err := fastinvert.NewBuilder(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	stopTicker := startProgress(*progress, col)
 	rep, err := b.Build(src)
+	stopTicker()
+	if tw != nil {
+		if cerr := tw.Close(); cerr != nil {
+			log.Fatalf("trace: %v", cerr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,10 +138,91 @@ func main() {
 				vr.Runs, vr.Lists, vr.Postings, vr.Terms)
 		}
 	}
+	if *traceOut != "" {
+		st, err := telemetry.ValidateTraceFile(*traceOut)
+		if err != nil {
+			log.Fatalf("trace validation FAILED: %v", err)
+		}
+		fmt.Printf("trace: %s (%d spans, %d samples, busy+stall coverage %.0f%%)\n",
+			*traceOut, st.Spans, st.Samples, 100*st.BusyStallCoverage)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, reg); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if *metricsOut != "-" {
+			fmt.Printf("metrics snapshot written to %s\n", *metricsOut)
+		}
+	}
 	if *verbose {
 		fmt.Println("per-file indexing throughput (MB/s):")
 		for i, f := range rep.PerFile {
 			fmt.Printf("  %4d %-40s %8.2f\n", i, f.Name, f.ThroughputMBps)
 		}
 	}
+}
+
+// startProgress launches the live ticker; the returned func stops it
+// and prints the final progress line.
+func startProgress(enabled bool, col *telemetry.Collector) (stop func()) {
+	if !enabled || col == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				fmt.Fprintf(os.Stderr, "\r%s", progressLine(col.Progress()))
+			case <-quit:
+				fmt.Fprintf(os.Stderr, "\r%s\n", progressLine(col.Progress()))
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		wg.Wait()
+	}
+}
+
+// progressLine renders one ticker line: files, docs/s, MB/s, per-stage
+// utilization of the parser and indexer banks, and the ETA.
+func progressLine(p telemetry.Progress) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "files %d/%d  %.0f docs/s  %.1f MB/s",
+		p.FilesDone, p.FilesTotal, p.DocsPerSec, p.MBPerSec)
+	stages := make([]string, 0, len(p.StageUtil))
+	for st := range p.StageUtil {
+		stages = append(stages, st)
+	}
+	sort.Strings(stages)
+	for _, st := range stages {
+		fmt.Fprintf(&sb, "  %s %3.0f%%", st, 100*p.StageUtil[st])
+	}
+	if p.ETA > 0 {
+		fmt.Fprintf(&sb, "  ETA %s", p.ETA.Round(time.Second))
+	}
+	return sb.String()
+}
+
+// writeMetrics renders the registry in Prometheus text format.
+func writeMetrics(path string, reg *telemetry.Registry) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,7 +7,11 @@
 //	/search?q=parallel+inverted&mode=topk&k=10   ranked / Boolean / phrase queries
 //	/postings?term=parallel&limit=50             one term's postings (404 if absent)
 //	/healthz                                     liveness + index shape
-//	/debug/vars                                  expvar + QPS, p50/p99 latency, cache hit rate
+//	/metrics                                     Prometheus text exposition: query counters,
+//	                                             latency histogram, cache hit/miss/eviction,
+//	                                             pool in-flight, index shape
+//	/debug/vars                                  expvar + QPS, p50/p99 latency, cache + pool stats
+//	/debug/pprof/                                net/http/pprof (behind -pprof)
 //
 // Queries execute on a bounded worker pool under a per-query deadline,
 // reading postings through a sharded LRU cache; see internal/serve.

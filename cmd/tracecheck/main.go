@@ -1,0 +1,53 @@
+// Command tracecheck validates a JSONL build trace written by
+// hetindex -trace: schema shape, per-worker span nesting, and the
+// busy+stall wall-clock coverage gate. CI's smoke job runs it against
+// a tiny corpus build.
+//
+// Usage:
+//
+//	tracecheck [-min-coverage 0.9] build-trace.jsonl
+//
+// Exit status 0 means the trace is well-formed and the coverage gate
+// passed; 1 names the first violated invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"fastinvert/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracecheck: ")
+	minCov := flag.Float64("min-coverage", 0.9,
+		"minimum busy+stall fraction of build wall-clock (0 disables the gate)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-coverage 0.9] build-trace.jsonl")
+		os.Exit(2)
+	}
+	st, err := telemetry.ValidateTraceFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace OK: %d events (%d spans, %d samples, %d counters), wall %.3fs\n",
+		st.Events, st.Spans, st.Samples, st.Counters, st.WallSec)
+	stages := make([]string, 0, len(st.StageSec))
+	for s := range st.StageSec {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		fmt.Printf("  %-14s %9.4f s\n", s, st.StageSec[s])
+	}
+	fmt.Printf("busy+stall coverage of wall-clock: %.1f%%\n", 100*st.BusyStallCoverage)
+	if *minCov > 0 && st.BusyStallCoverage < *minCov {
+		log.Fatalf("coverage %.1f%% below the %.0f%% gate — stage spans are missing build time",
+			100*st.BusyStallCoverage, 100**minCov)
+	}
+}

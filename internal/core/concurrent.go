@@ -13,6 +13,7 @@ import (
 	"fastinvert/internal/sampling"
 	"fastinvert/internal/stopwords"
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 )
 
 // Concurrent execution of the pipeline with real goroutines, mirroring
@@ -69,6 +70,7 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 	e.docLens = e.docLens[:0]
 	e.docFiles = e.docFiles[:0]
 	e.docLocs = e.docLocs[:0]
+	e.beginObserve(src.NumFiles(), true)
 
 	t0 := time.Now()
 	counts, err := sampling.Sample(src, e.cfg.Sampling)
@@ -86,6 +88,7 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 		return nil, err
 	}
 	rep.SamplingSec = e.measure(t0)
+	e.obs.span(telemetry.StageSampling, -1, -1, t0, 0, 0, 0)
 
 	var writer *store.IndexWriter
 	if e.cfg.OutDir != "" {
@@ -118,7 +121,15 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 			}
 		}()
 		for f := 0; f < n; f++ {
+			tRead := time.Now()
 			stored, gz, err := src.ReadFile(f)
+			if err == nil {
+				e.obs.span(telemetry.StageRead, -1, f, tRead, int64(len(stored)), 0, 0)
+			}
+			// Occupancy of the target parser's depth-1 buffer just
+			// before the send: 1 means the disk is about to block on
+			// that parser (backpressure).
+			e.obs.sample("parser_buffer_depth", f%m, float64(len(parserIn[f%m])))
 			select {
 			case parserIn[f%m] <- rawFile{f: f, stored: stored, gz: gz, err: err}:
 			case <-ctx.Done():
@@ -182,6 +193,9 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 					return nil, fmt.Errorf("core: parser stage ended early at file %d", next)
 				}
 				pending[r.f] = r
+				// Parsed blocks queued ahead of the sequencer: high
+				// occupancy means the indexers are the bottleneck.
+				e.obs.sample("parsed_queue_depth", -1, float64(len(results)+len(pending)))
 			case <-ctx.Done():
 				return nil, fail(ctx.Err())
 			}
@@ -199,7 +213,7 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 		if err := e.cfg.Hooks.beforeIndex(pf.f); err != nil {
 			return nil, fail(err)
 		}
-		if err := e.indexBlockConcurrent(pf.blk, docBase, &pf.item, rep); err != nil {
+		if err := e.indexBlockConcurrent(pf.blk, pf.f, docBase, &pf.item, rep); err != nil {
 			return nil, fail(err)
 		}
 		if err := e.postProcessBlock(&pf, docBase, src.FileName(pf.f), rep, writer); err != nil {
@@ -237,6 +251,7 @@ func (e *Engine) parseOne(psr *parser.Parser, f int, stored []byte, gz bool, rea
 		pf.err = fmt.Errorf("core: read file %d: %w", f, readErr)
 		return pf
 	}
+	tSpan := time.Now()
 	pf.item = pipesim.Item{
 		ReadSec:  e.cfg.DiskLatencySec + float64(len(stored))/e.cfg.DiskBytesPerSec,
 		IndexSec: make([]float64, e.cfg.CPUIndexers+e.cfg.GPUs),
@@ -266,6 +281,8 @@ func (e *Engine) parseOne(psr *parser.Parser, f int, stored []byte, gz bool, rea
 	for d, doc := range docs {
 		pf.byteLens[d] = len(doc)
 	}
+	e.obs.span(telemetry.StageParse, f%e.cfg.Parsers, f, tSpan,
+		int64(len(plain)), int64(blk.Tokens), int64(len(docs)))
 	if err := e.cfg.Hooks.afterParse(f); err != nil {
 		pf.err = err
 	}
@@ -274,8 +291,9 @@ func (e *Engine) parseOne(psr *parser.Parser, f int, stored []byte, gz bool, rea
 
 // indexBlockConcurrent fans the block's shares out to all indexers in
 // parallel and records their measured/modeled durations.
-func (e *Engine) indexBlockConcurrent(blk *parser.Block, docBase uint32, item *pipesim.Item, rep *Report) error {
+func (e *Engine) indexBlockConcurrent(blk *parser.Block, file int, docBase uint32, item *pipesim.Item, rep *Report) error {
 	cpuShares, gpuShares := e.splitShares(blk)
+	e.accountShares(blk)
 	var wg sync.WaitGroup
 	errs := make([]error, e.cfg.CPUIndexers+e.cfg.GPUs)
 	var mu sync.Mutex // guards rep's GPU pre/post accumulators
@@ -289,18 +307,22 @@ func (e *Engine) indexBlockConcurrent(blk *parser.Block, docBase uint32, item *p
 				return
 			}
 			item.IndexSec[i] = e.measure(t)
+			e.obs.span(telemetry.StageIndex, i, file, t, 0, shareTokens(cpuShares[i]), 0)
 		}(i)
 	}
 	for j := range e.gpuIxs {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
+			t := time.Now()
 			rs, err := e.gpuIxs[j].IndexRun(gpuShares[j], docBase)
 			if err != nil {
 				errs[e.cfg.CPUIndexers+j] = err
 				return
 			}
 			item.IndexSec[e.cfg.CPUIndexers+j] = e.gpuShare(rs.PreSec, rs.KernelSec, rs.PostSec)
+			e.obs.span(telemetry.StageIndex, e.cfg.CPUIndexers+j, file, t,
+				0, shareTokens(gpuShares[j]), 0)
 			mu.Lock()
 			rep.PreProcessingSec += rs.PreSec
 			rep.PostProcessingSec += rs.PostSec
@@ -369,15 +391,18 @@ func (e *Engine) postProcessBlock(pf *parsedFile, docBase uint32,
 	if docs > 0 {
 		lastDoc = docBase + uint32(docs) - 1
 	}
+	var runBytes int64
 	if writer != nil {
 		if err := writer.WriteRun(rb, firstDoc, lastDoc); err != nil {
 			return err
 		}
-		rep.PostingsBytes += writer.Runs()[len(writer.Runs())-1].Bytes
+		runBytes = writer.Runs()[len(writer.Runs())-1].Bytes
 	} else {
-		rep.PostingsBytes += int64(len(rb.Finalize(firstDoc, lastDoc)))
+		runBytes = int64(len(rb.Finalize(firstDoc, lastDoc)))
 	}
+	rep.PostingsBytes += runBytes
 	flushSec := e.measure(t)
+	e.obs.span(telemetry.StageFlush, -1, pf.f, t, runBytes, 0, 0)
 	item.PostSec = flushSec
 	rep.PostProcessingSec += flushSec
 
@@ -407,6 +432,7 @@ func (e *Engine) finishReport(rep *Report, items []pipesim.Item, nIdx int, write
 	dict := e.collectDictionary()
 	rep.DictCombineSec = e.measure(t)
 	rep.Terms = int64(len(dict))
+	e.obs.span(telemetry.StageDictCombine, -1, -1, t, 0, 0, 0)
 
 	t = time.Now()
 	if writer != nil {
@@ -422,6 +448,7 @@ func (e *Engine) finishReport(rep *Report, items []pipesim.Item, nIdx int, write
 	}
 	rep.DictionaryBytes = int64(store.FrontCodedSize(dict))
 	rep.DictWriteSec = e.measure(t)
+	e.obs.span(telemetry.StageDictWrite, -1, -1, t, rep.DictionaryBytes, 0, 0)
 
 	for _, ix := range e.cpuIxs {
 		st := ix.Stats()
@@ -447,5 +474,6 @@ func (e *Engine) finishReport(rep *Report, items []pipesim.Item, nIdx int, write
 	rep.TotalSec = rep.SamplingSec + res.MakespanSec + rep.DictCombineSec + rep.DictWriteSec
 	rep.ThroughputMBps = pipesim.Throughput(rep.UncompressedBytes, rep.TotalSec)
 	rep.IndexingThroughputMBps = pipesim.Throughput(rep.UncompressedBytes, rep.IndexersSpanSec)
+	e.endObserve(rep)
 	return rep, nil
 }

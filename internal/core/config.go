@@ -19,6 +19,7 @@ import (
 
 	"fastinvert/internal/gpu"
 	"fastinvert/internal/sampling"
+	"fastinvert/internal/telemetry"
 )
 
 // Config selects the pipeline shape and models.
@@ -111,6 +112,17 @@ type Config struct {
 	// to prove the build either completes correctly or fails cleanly.
 	// nil (the normal case) is a no-op.
 	Hooks *Hooks
+
+	// Observer receives stage-level telemetry from the same pipeline
+	// boundaries the Hooks fire at — read/parse/index/flush spans with
+	// bytes/tokens/docs, buffer-occupancy samples from the sequencer,
+	// and per-trie-collection token totals for CPU/GPU split-skew
+	// analysis. telemetry.NewCollector is the standard implementation
+	// (registry metrics, JSONL trace, live progress); nil disables
+	// observation at the cost of one nil check per boundary. Observer
+	// methods run on stage goroutines in the concurrent executor and
+	// must be safe for concurrent use.
+	Observer telemetry.Observer
 }
 
 // Hooks are optional callbacks fired at the pipeline's stage

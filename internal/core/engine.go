@@ -14,6 +14,7 @@ import (
 	"fastinvert/internal/postings"
 	"fastinvert/internal/sampling"
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 	"fastinvert/internal/trie"
 )
 
@@ -29,6 +30,11 @@ type Engine struct {
 	docLens  []uint32 // per-document token counts, in global docID order
 	docFiles []string // container-file names, one per processed file
 	docLocs  []store.DocLocation
+
+	// Telemetry state for the current build (observe.go): the nil-safe
+	// observer seam and the per-trie-collection token accumulator.
+	obs        spanObserver
+	collTokens map[int]int64
 }
 
 // New validates the configuration and allocates the indexers.
@@ -83,6 +89,7 @@ func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, 
 	e.docLens = e.docLens[:0]
 	e.docFiles = e.docFiles[:0]
 	e.docLocs = e.docLocs[:0]
+	e.beginObserve(src.NumFiles(), false)
 
 	// Sampling phase (§III.E) — serialized before the pipeline.
 	t0 := time.Now()
@@ -101,6 +108,7 @@ func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, 
 		return nil, err
 	}
 	rep.SamplingSec = e.measure(t0)
+	e.obs.span(telemetry.StageSampling, -1, -1, t0, 0, 0, 0)
 
 	var writer *store.IndexWriter
 	if e.cfg.OutDir != "" {
@@ -119,10 +127,12 @@ func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, 
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		tRead := time.Now()
 		stored, compressed, err := src.ReadFile(f)
 		if err != nil {
 			return nil, fmt.Errorf("core: read %s: %w", src.FileName(f), err)
 		}
+		e.obs.span(telemetry.StageRead, -1, f, tRead, int64(len(stored)), 0, 0)
 		pf := e.parseOne(p, f, stored, compressed, nil)
 		if pf.err != nil {
 			return nil, pf.err
@@ -138,14 +148,17 @@ func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, 
 			return nil, err
 		}
 		cpuShares, gpuShares := e.splitShares(pf.blk)
+		e.accountShares(pf.blk)
 		for i, ix := range e.cpuIxs {
 			t := time.Now()
 			if _, err := ix.IndexRun(cpuShares[i], docBase); err != nil {
 				return nil, err
 			}
 			pf.item.IndexSec[i] = e.measure(t)
+			e.obs.span(telemetry.StageIndex, i, f, t, 0, shareTokens(cpuShares[i]), 0)
 		}
 		for j, ix := range e.gpuIxs {
+			t := time.Now()
 			rs, err := ix.IndexRun(gpuShares[j], docBase)
 			if err != nil {
 				return nil, err
@@ -153,6 +166,8 @@ func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, 
 			pf.item.IndexSec[e.cfg.CPUIndexers+j] = e.gpuShare(rs.PreSec, rs.KernelSec, rs.PostSec)
 			rep.PreProcessingSec += rs.PreSec
 			rep.PostProcessingSec += rs.PostSec
+			e.obs.span(telemetry.StageIndex, e.cfg.CPUIndexers+j, f, t,
+				0, shareTokens(gpuShares[j]), 0)
 		}
 
 		if err := e.postProcessBlock(&pf, docBase, src.FileName(f), rep, writer); err != nil {

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"fastinvert/internal/core"
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/telemetry"
+)
+
+// StageUtilization is the modeled per-stage busy/utilization view of
+// one build, derived from the pipesim schedule: how much of the
+// makespan each pipeline actor spent working.
+type StageUtilization struct {
+	MakespanSec    float64   `json:"makespan_sec"`
+	DiskBusySec    float64   `json:"disk_busy_sec"`
+	DiskUtil       float64   `json:"disk_util"`
+	ParserBusySec  []float64 `json:"parser_busy_sec"`
+	ParserUtil     []float64 `json:"parser_util"`
+	IndexerBusySec []float64 `json:"indexer_busy_sec"`
+	IndexerUtil    []float64 `json:"indexer_util"`
+}
+
+// StageBenchRow is one collection's build with both throughput numbers
+// and per-stage breakdowns: the modeled utilization from the pipeline
+// schedule and the measured wall-clock stage seconds from the
+// telemetry collector (stall rows keyed "stall:<stage>").
+type StageBenchRow struct {
+	Collection             string             `json:"collection"`
+	Files                  int                `json:"files"`
+	Docs                   int64              `json:"docs"`
+	Tokens                 int64              `json:"tokens"`
+	Terms                  int64              `json:"terms"`
+	UncompressedMB         float64            `json:"uncompressed_mb"`
+	ThroughputMBps         float64            `json:"throughput_mbps"`
+	IndexingThroughputMBps float64            `json:"indexing_throughput_mbps"`
+	SamplingSec            float64            `json:"sampling_sec"`
+	DictCombineSec         float64            `json:"dict_combine_sec"`
+	DictWriteSec           float64            `json:"dict_write_sec"`
+	Modeled                StageUtilization   `json:"modeled"`
+	MeasuredStageSec       map[string]float64 `json:"measured_stage_sec"`
+}
+
+// utilization derives per-actor utilization from a report's schedule.
+func utilization(rep *core.Report) StageUtilization {
+	u := StageUtilization{}
+	if rep.Schedule == nil {
+		return u
+	}
+	res := rep.Schedule
+	u.MakespanSec = res.MakespanSec
+	u.DiskBusySec = res.DiskBusySec
+	if res.MakespanSec > 0 {
+		u.DiskUtil = res.DiskBusySec / res.MakespanSec
+	}
+	for _, b := range res.ParserBusySec {
+		u.ParserBusySec = append(u.ParserBusySec, b)
+		if res.MakespanSec > 0 {
+			u.ParserUtil = append(u.ParserUtil, b/res.MakespanSec)
+		}
+	}
+	for _, b := range res.IndexerBusySec {
+		u.IndexerBusySec = append(u.IndexerBusySec, b)
+		if res.MakespanSec > 0 {
+			u.IndexerUtil = append(u.IndexerUtil, b/res.MakespanSec)
+		}
+	}
+	return u
+}
+
+// stageBenchOne builds one collection with a telemetry collector
+// attached and folds the report plus stage metrics into a row.
+func stageBenchOne(name string, src corpus.Source, parsers, cpus, gpus int) (StageBenchRow, error) {
+	col := telemetry.NewCollector(telemetry.NewRegistry(), nil)
+	cfg := EngineConfig(parsers, cpus, gpus)
+	cfg.Observer = col
+	eng, err := core.New(cfg)
+	if err != nil {
+		return StageBenchRow{}, err
+	}
+	rep, err := eng.Build(src)
+	if err != nil {
+		return StageBenchRow{}, err
+	}
+	return StageBenchRow{
+		Collection:             name,
+		Files:                  rep.Files,
+		Docs:                   rep.Docs,
+		Tokens:                 rep.Tokens,
+		Terms:                  rep.Terms,
+		UncompressedMB:         float64(rep.UncompressedBytes) / (1 << 20),
+		ThroughputMBps:         rep.ThroughputMBps,
+		IndexingThroughputMBps: rep.IndexingThroughputMBps,
+		SamplingSec:            rep.SamplingSec,
+		DictCombineSec:         rep.DictCombineSec,
+		DictWriteSec:           rep.DictWriteSec,
+		Modeled:                utilization(rep),
+		MeasuredStageSec:       col.StageSeconds(),
+	}, nil
+}
+
+// StageBench builds the three synthetic collections under the standard
+// 6P+2C+2G shape, returning throughput plus per-stage breakdowns for
+// BENCH_*.json machine-readable output.
+func StageBench(s Scale) ([]StageBenchRow, error) {
+	srcs := []struct {
+		name string
+		src  corpus.Source
+	}{
+		{"clueweb09", ClueWebSource(s)},
+		{"wikipedia01-07", WikipediaSource(s)},
+		{"library-of-congress", LibraryOfCongressSource(s)},
+	}
+	rows := make([]StageBenchRow, 0, len(srcs))
+	for _, c := range srcs {
+		row, err := stageBenchOne(c.name, c.src, 6, 2, 2)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// StageBenchDoc is the top-level BENCH_*.json document.
+type StageBenchDoc struct {
+	Files       int             `json:"files"`
+	ScaleFactor float64         `json:"scale_factor"`
+	Collections []StageBenchRow `json:"collections"`
+}
+
+// WriteStageBenchJSON runs StageBench and writes the indented JSON
+// document to w.
+func WriteStageBenchJSON(w io.Writer, s Scale) error {
+	rows, err := StageBench(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(StageBenchDoc{
+		Files:       s.Files,
+		ScaleFactor: s.Factor,
+		Collections: rows,
+	})
+}

@@ -161,6 +161,34 @@ func (c *PostingsCache) Put(term string, l *postings.List) {
 	}
 }
 
+// Hits sums the hit counters across shards without taking any shard
+// lock — safe to call at metrics-scrape frequency.
+func (c *PostingsCache) Hits() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].hits.Load()
+	}
+	return n
+}
+
+// Misses sums the miss counters across shards, lock-free.
+func (c *PostingsCache) Misses() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].misses.Load()
+	}
+	return n
+}
+
+// Evictions sums the eviction counters across shards, lock-free.
+func (c *PostingsCache) Evictions() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].evictions.Load()
+	}
+	return n
+}
+
 // Stats aggregates counters and occupancy across shards.
 func (c *PostingsCache) Stats() CacheStats {
 	var st CacheStats

@@ -3,22 +3,27 @@ package serve
 import (
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"fastinvert/internal/telemetry"
 )
 
 // latencyWindow is how many recent query latencies feed the
 // percentile estimates.
 const latencyWindow = 4096
 
-// Metrics tracks the server's query counters and a sliding window of
-// latencies for percentile reporting. All methods are safe for
-// concurrent use; Observe is two atomic adds plus one short
-// critical section on the ring.
+// Metrics tracks the server's query counters and latency distribution.
+// The counters and the latency histogram live in a telemetry.Registry
+// (so /metrics exposes them in Prometheus format); a sliding window of
+// raw latencies is kept alongside for the exact percentiles served at
+// /debug/vars. All methods are safe for concurrent use; Observe is a
+// handful of atomic adds plus one short critical section on the ring —
+// no allocations on the query hot path.
 type Metrics struct {
 	start   time.Time
-	queries atomic.Int64
-	errors  atomic.Int64
+	queries *telemetry.Counter
+	errors  *telemetry.Counter
+	latency *telemetry.Histogram
 
 	mu   sync.Mutex
 	ring [latencyWindow]float64 // milliseconds
@@ -26,15 +31,35 @@ type Metrics struct {
 	n    int // filled entries, <= latencyWindow
 }
 
-// NewMetrics starts the uptime clock.
-func NewMetrics() *Metrics { return &Metrics{start: time.Now()} }
+// NewMetrics starts the uptime clock on a private registry (tests,
+// embedded use). Servers share their registry via NewMetricsOn.
+func NewMetrics() *Metrics { return NewMetricsOn(telemetry.NewRegistry()) }
+
+// NewMetricsOn registers the query metric families on reg and starts
+// the uptime clock.
+func NewMetricsOn(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{
+		start: time.Now(),
+		queries: reg.Counter("hetserve_queries_total",
+			"Queries executed (all endpoints, including failed)."),
+		errors: reg.Counter("hetserve_query_errors_total",
+			"Queries that returned an error (timeouts, bad input, corrupt index)."),
+		latency: reg.Histogram("hetserve_query_seconds",
+			"Query latency distribution in seconds.", telemetry.DefBuckets),
+	}
+	reg.GaugeFunc("hetserve_uptime_seconds",
+		"Seconds since the server's metrics were initialized.",
+		func() float64 { return time.Since(m.start).Seconds() })
+	return m
+}
 
 // Observe records one completed query.
 func (m *Metrics) Observe(d time.Duration, err error) {
-	m.queries.Add(1)
+	m.queries.Inc()
 	if err != nil {
-		m.errors.Add(1)
+		m.errors.Inc()
 	}
+	m.latency.Observe(d.Seconds())
 	ms := float64(d) / float64(time.Millisecond)
 	m.mu.Lock()
 	m.ring[m.next] = ms
@@ -71,7 +96,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		return lat[i]
 	}
 	up := time.Since(m.start).Seconds()
-	q := m.queries.Load()
+	q := int64(m.queries.Value())
 	qps := 0.0
 	if up > 0 {
 		qps = float64(q) / up
@@ -79,7 +104,7 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
 		UptimeSec: up,
 		Queries:   q,
-		Errors:    m.errors.Load(),
+		Errors:    int64(m.errors.Value()),
 		QPS:       qps,
 		P50Ms:     pct(0.50),
 		P90Ms:     pct(0.90),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrPoolClosed reports a submission to a pool after Close.
@@ -18,6 +19,10 @@ type Pool struct {
 	quit chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+
+	workers   int
+	inFlight  atomic.Int64
+	completed atomic.Int64
 }
 
 type poolJob struct {
@@ -32,8 +37,9 @@ func NewPool(workers int) *Pool {
 		workers = 1
 	}
 	p := &Pool{
-		jobs: make(chan poolJob),
-		quit: make(chan struct{}),
+		jobs:    make(chan poolJob),
+		quit:    make(chan struct{}),
+		workers: workers,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -51,7 +57,11 @@ func (p *Pool) worker() {
 				j.done <- err
 				continue
 			}
-			j.done <- j.fn(j.ctx)
+			p.inFlight.Add(1)
+			err := j.fn(j.ctx)
+			p.inFlight.Add(-1)
+			p.completed.Add(1)
+			j.done <- err
 		case <-p.quit:
 			return
 		}
@@ -85,4 +95,21 @@ func (p *Pool) Do(ctx context.Context, fn func(context.Context) error) error {
 func (p *Pool) Close() {
 	p.once.Do(func() { close(p.quit) })
 	p.wg.Wait()
+}
+
+// PoolStats is a point-in-time view of the pool's load, published at
+// /debug/vars and /metrics.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	InFlight  int64 `json:"in_flight"`
+	Completed int64 `json:"completed"`
+}
+
+// Stats reads the pool counters (lock-free).
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		InFlight:  p.inFlight.Load(),
+		Completed: p.completed.Load(),
+	}
 }

@@ -16,6 +16,7 @@ import (
 	"fastinvert/internal/postings"
 	"fastinvert/internal/search"
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults.
@@ -34,6 +35,12 @@ type Config struct {
 	MaxK int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Registry receives the server's metric families and is served at
+	// /metrics in Prometheus text format. nil allocates a private one;
+	// pass a shared registry to co-publish with other subsystems. Cache
+	// and pool series are func-backed — they read the existing atomic
+	// counters at scrape time, adding nothing to the query hot path.
+	Registry *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -51,6 +58,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 1000
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
 	}
 }
 
@@ -103,14 +113,16 @@ func New(idx *store.IndexReader, cfg Config) *Server {
 		cache:    cache,
 		searcher: search.NewWithSource(&cachedSource{idx: idx, cache: cache}),
 		pool:     NewPool(cfg.Workers),
-		metrics:  NewMetrics(),
+		metrics:  NewMetricsOn(cfg.Registry),
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 	}
+	s.registerMetrics(cfg.Registry)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/postings", s.handlePostings)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	s.mux.Handle("/metrics", cfg.Registry.Handler())
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -121,8 +133,47 @@ func New(idx *store.IndexReader, cfg Config) *Server {
 	return s
 }
 
+// registerMetrics publishes the cache, pool and index-shape series as
+// func-backed metrics: values are read from the subsystems' own atomic
+// counters only when /metrics is scraped.
+func (s *Server) registerMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("hetserve_cache_hits_total",
+		"Postings cache hits across all shards.",
+		func() float64 { return float64(s.cache.Hits()) })
+	reg.CounterFunc("hetserve_cache_misses_total",
+		"Postings cache misses across all shards.",
+		func() float64 { return float64(s.cache.Misses()) })
+	reg.CounterFunc("hetserve_cache_evictions_total",
+		"Postings cache LRU evictions across all shards.",
+		func() float64 { return float64(s.cache.Evictions()) })
+	reg.GaugeFunc("hetserve_cache_entries",
+		"Cached postings lists currently resident.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("hetserve_cache_bytes",
+		"Estimated bytes of decoded postings currently cached.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	reg.Gauge("hetserve_pool_workers",
+		"Size of the bounded query worker pool.").Set(float64(s.cfg.Workers))
+	reg.GaugeFunc("hetserve_pool_in_flight",
+		"Queries executing on pool workers right now.",
+		func() float64 { return float64(s.pool.Stats().InFlight) })
+	reg.CounterFunc("hetserve_pool_completed_total",
+		"Queries completed by the worker pool.",
+		func() float64 { return float64(s.pool.Stats().Completed) })
+	reg.GaugeFunc("hetserve_index_terms",
+		"Distinct terms in the served index.",
+		func() float64 { return float64(s.idx.Terms()) })
+	reg.GaugeFunc("hetserve_index_runs",
+		"Run files in the served index.",
+		func() float64 { return float64(len(s.idx.Runs())) })
+}
+
 // Handler returns the route multiplexer.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metrics registry (the one passed in
+// Config.Registry, or the private default).
+func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
 
 // CacheStats exposes the postings-cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
@@ -300,11 +351,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// varsSnapshot is the "hetserve" object at /debug/vars.
+// varsSnapshot is the "hetserve" object at /debug/vars: query
+// percentiles, the full cache counter set (hits, misses, evictions,
+// occupancy) and the pool's live load.
 type varsSnapshot struct {
 	MetricsSnapshot
 	Cache        CacheStats `json:"cache"`
 	CacheHitRate float64    `json:"cache_hit_rate"`
+	Pool         PoolStats  `json:"pool"`
 	Workers      int        `json:"workers"`
 }
 
@@ -324,6 +378,7 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		MetricsSnapshot: s.metrics.Snapshot(),
 		Cache:           cache,
 		CacheHitRate:    cache.HitRate(),
+		Pool:            s.pool.Stats(),
 		Workers:         s.cfg.Workers,
 	}
 	b, err := json.Marshal(snap)

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v ± %v", name, got, want, tol)
+	}
+}
+
+// TestCollectorDerivesStalls feeds hand-built spans through the
+// Collector and checks that it derives the idle gaps: a stall span per
+// gap in each parse/index worker stream plus a tail stall at BuildEnd,
+// so that busy+stall tiles the whole build window.
+func TestCollectorDerivesStalls(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	reg := NewRegistry()
+	c := NewCollector(reg, tw)
+
+	c.BuildStart(2, map[string]any{"files": 2})
+	base := time.Now() // ≈ the collector's epoch, within microseconds
+	ms := time.Millisecond
+	c.StageSpan(StageRead, -1, 0, base, 2*ms, 1<<20, 0, 0)
+	c.StageSpan(StageParse, 0, 0, base.Add(10*ms), 5*ms, 4096, 100, 4)
+	c.StageSpan(StageParse, 0, 1, base.Add(25*ms), 5*ms, 4096, 150, 6)
+	c.StageSpan(StageIndex, 0, 0, base.Add(16*ms), 4*ms, 0, 100, 0)
+	c.StageSpan(StageFlush, -1, 0, base.Add(30*ms), 2*ms, 0, 0, 0)
+	c.StageSpan(StageFlush, -1, 1, base.Add(33*ms), 2*ms, 0, 0, 0)
+	c.Sample("parsed_queue_depth", 0, 2)
+	c.Total("collection_tokens", map[string]string{"coll": "a", "kind": "cpu"}, 100)
+	c.Total("collection_tokens", map[string]string{"coll": "b", "kind": "cpu"}, 150)
+
+	p := c.Progress()
+	if p.FilesDone != 2 || p.FilesTotal != 2 {
+		t.Errorf("progress files = %d/%d, want 2/2", p.FilesDone, p.FilesTotal)
+	}
+	if p.Docs != 10 || p.Tokens != 250 {
+		t.Errorf("progress docs/tokens = %d/%d, want 10/250", p.Docs, p.Tokens)
+	}
+	if p.ReadBytes != 1<<20 || p.ParsedBytes != 8192 {
+		t.Errorf("progress bytes = %d/%d, want %d/8192", p.ReadBytes, p.ParsedBytes, 1<<20)
+	}
+
+	// Let real wall-clock pass the last span end so BuildEnd has a tail
+	// gap to close for each worker stream.
+	time.Sleep(60 * ms)
+	c.BuildEnd(map[string]any{"docs": 10})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := ValidateTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spans above were fed with microsecond-level skew between the
+	// collector's epoch and base; stage sums are exact span durations.
+	approx(t, "parse busy", st.StageSec[StageParse], 0.010, 1e-9)
+	approx(t, "index busy", st.StageSec[StageIndex], 0.004, 1e-9)
+	// parse/0 gaps: [0,10ms) before the first span, (15ms,25ms) between
+	// spans, plus the tail from 30ms to the wall clock.
+	wantParseStall := st.WallSec - 0.010
+	approx(t, "parse stall", st.StageSec["stall:"+StageParse], wantParseStall, 2e-3)
+	wantIndexStall := st.WallSec - 0.004
+	approx(t, "index stall", st.StageSec["stall:"+StageIndex], wantIndexStall, 2e-3)
+	// Busy+stall tiles each stream → coverage ≈ 1.
+	if st.BusyStallCoverage < 0.95 || st.BusyStallCoverage > 1.05 {
+		t.Errorf("busy+stall coverage = %v, want ~1.0", st.BusyStallCoverage)
+	}
+
+	// Registry side: totals and the aggregated (coll label dropped)
+	// collection_tokens counter.
+	approx(t, "docs_total", reg.Counter("fastinvert_build_docs_total", "").Value(), 10, 0)
+	approx(t, "tokens_total", reg.Counter("fastinvert_build_tokens_total", "").Value(), 250, 0)
+	approx(t, "collection_tokens{kind=cpu}",
+		reg.Counter("fastinvert_build_collection_tokens", "", L("kind", "cpu")).Value(), 250, 0)
+	approx(t, "stage_seconds{parse}",
+		reg.Counter("fastinvert_build_stage_seconds_total", "", L("stage", "parse")).Value(), 0.010, 1e-9)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fastinvert_build_stage_seconds_total{stage=\"parse\"}",
+		"fastinvert_build_stage_seconds_total{stage=\"stall_parse\"}",
+		"fastinvert_build_span_seconds_bucket",
+		"fastinvert_build_wall_seconds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+// TestCollectorNilSinks: a collector with neither registry nor trace
+// must still accumulate StageSeconds and Progress without panicking —
+// benchrunner uses exactly this shape.
+func TestCollectorNilSinks(t *testing.T) {
+	c := NewCollector(nil, nil)
+	c.BuildStart(1, nil)
+	base := time.Now()
+	c.StageSpan(StageParse, 0, 0, base, time.Millisecond, 10, 20, 1)
+	c.Sample("x", 0, 1)
+	c.Total("collection_tokens", map[string]string{"kind": "gpu"}, 20)
+	c.BuildEnd(nil)
+	approx(t, "StageSeconds[parse]", c.StageSeconds()[StageParse], 0.001, 1e-9)
+	if c.Progress().Tokens != 20 {
+		t.Errorf("tokens = %d, want 20", c.Progress().Tokens)
+	}
+}

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentHammering drives every metric kind from 16
+// goroutines under -race: the counters must not lose updates and the
+// histogram's count/sum must match the observation stream exactly.
+func TestRegistryConcurrentHammering(t *testing.T) {
+	const goroutines = 16
+	const perG = 10_000
+
+	reg := NewRegistry()
+	c := reg.Counter("hammer_total", "hammered counter")
+	g := reg.Gauge("hammer_gauge", "hammered gauge")
+	h := reg.Histogram("hammer_seconds", "hammered histogram", []float64{0.25, 0.5, 0.75, 1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				c.Add(2)
+				g.Add(1)
+				h.Observe(float64(j%4) * 0.25)
+				// Concurrent registration of the same series must
+				// return the same handle, not a fresh one.
+				if reg.Counter("hammer_total", "hammered counter") != c {
+					t.Error("counter identity changed under concurrent registration")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), float64(goroutines*perG*3); got != want {
+		t.Errorf("counter = %v, want %v", got, want)
+	}
+	if got, want := g.Value(), float64(goroutines*perG); got != want {
+		t.Errorf("gauge = %v, want %v", got, want)
+	}
+	if got, want := h.Count(), uint64(goroutines*perG); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// Each goroutine observes 0, .25, .5, .75 cyclically.
+	wantSum := float64(goroutines) * float64(perG/4) * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+// TestPrometheusGolden locks the text exposition format: families in
+// registration order, HELP/TYPE headers, label rendering, cumulative
+// histogram buckets with the le label, _sum and _count rows.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("app_requests_total", "Requests served.", L("code", "200")).Add(3)
+	reg.Counter("app_requests_total", "Requests served.", L("code", "500")).Inc()
+	reg.Gauge("app_temperature_celsius", "Probe temperature.").Set(36.6)
+	reg.GaugeFunc("app_up", "Always one.", func() float64 { return 1 })
+	h := reg.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{code="200"} 3
+app_requests_total{code="500"} 1
+# HELP app_temperature_celsius Probe temperature.
+# TYPE app_temperature_celsius gauge
+app_temperature_celsius 36.6
+# HELP app_up Always one.
+# TYPE app_up gauge
+app_up 1
+# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 2
+app_latency_seconds_bucket{le="0.5"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 7.4
+app_latency_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %v, want 5 (negative add must be ignored)", c.Value())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", "", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5) // all in the (1,2] bucket
+	}
+	q := h.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Errorf("p50 = %v, want within (1,2]", q)
+	}
+	if got := (&Histogram{}).Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dual_use", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("dual_use", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Errorf("label not escaped:\n%s", sb.String())
+	}
+}

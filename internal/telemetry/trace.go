@@ -1,0 +1,320 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Stage names used by the build pipeline's span events. Worker indices
+// are per stage: parser p, indexer i, or -1 for singleton stages.
+const (
+	StageSampling    = "sampling"     // §III.E popularity sample, before the pipeline
+	StageRead        = "read"         // serialized container-file read
+	StageParse       = "parse"        // decompress + tokenize + regroup
+	StageIndex       = "index"        // one indexer consuming its share of a block
+	StageFlush       = "flush"        // combine + compress + write one run
+	StageDictCombine = "dict_combine" // final dictionary merge
+	StageDictWrite   = "dict_write"   // front-coded dictionary write
+	StageStall       = "stall"        // a worker waiting for upstream/downstream
+)
+
+// Span is one timed stage event. Start is relative to the build (trace)
+// start so traces are position-independent; durations are real
+// wall-clock seconds, never model-scaled.
+type Span struct {
+	Stage  string  `json:"stage"`
+	Worker int     `json:"worker"`          // parser/indexer index, -1 if n/a
+	File   int     `json:"file"`            // container file, -1 if n/a
+	Start  float64 `json:"start"`           // seconds since build start
+	Dur    float64 `json:"dur"`             // seconds
+	Bytes  int64   `json:"bytes,omitempty"` // input bytes processed
+	Tokens int64   `json:"tokens,omitempty"`
+	Docs   int64   `json:"docs,omitempty"`
+	// Of names the stage a stall span was waiting in ("parse",
+	// "index"); empty for busy spans.
+	Of string `json:"of,omitempty"`
+}
+
+// traceEvent is the JSONL envelope: ev selects the payload shape.
+type traceEvent struct {
+	Ev string  `json:"ev"` // "meta" | "span" | "sample" | "counter" | "summary"
+	TS float64 `json:"ts"` // seconds since build start
+
+	// ev=span
+	Span *Span `json:"span,omitempty"`
+
+	// ev=sample — a point-in-time measurement (buffer occupancy).
+	Name   string  `json:"name,omitempty"`
+	Worker int     `json:"worker,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+
+	// ev=counter — a final named total (collection token skew).
+	Labels map[string]string `json:"labels,omitempty"`
+
+	// ev=meta / ev=summary
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceWriter emits build-trace events as JSON lines. All methods are
+// safe for concurrent use; each event is one buffered, mutex-guarded
+// encode, cheap enough for per-file (not per-token) granularity.
+type TraceWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	c     io.Closer
+	start time.Time
+	err   error
+}
+
+// NewTraceWriter starts a trace on w; the clock starts now.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	t := &TraceWriter{bw: bw, enc: json.NewEncoder(bw), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		t.c = c
+	}
+	return t
+}
+
+// CreateTrace opens path for writing and starts a trace on it.
+func CreateTrace(path string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTraceWriter(f), nil
+}
+
+// Start returns the trace epoch.
+func (t *TraceWriter) Start() time.Time { return t.start }
+
+// Since returns seconds elapsed since the trace epoch.
+func (t *TraceWriter) Since() float64 { return time.Since(t.start).Seconds() }
+
+func (t *TraceWriter) emit(ev traceEvent) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = t.enc.Encode(ev)
+	}
+	t.mu.Unlock()
+}
+
+// Meta records build-level attributes (config shape, file count) as
+// the first line of a trace.
+func (t *TraceWriter) Meta(attrs map[string]any) {
+	t.emit(traceEvent{Ev: "meta", Attrs: attrs})
+}
+
+// Span records one completed stage span.
+func (t *TraceWriter) Span(sp Span) {
+	t.emit(traceEvent{Ev: "span", TS: sp.Start + sp.Dur, Span: &sp})
+}
+
+// Sample records a point-in-time measurement such as buffer occupancy.
+func (t *TraceWriter) Sample(name string, worker int, value float64) {
+	t.emit(traceEvent{Ev: "sample", TS: t.Since(), Name: name, Worker: worker, Value: value})
+}
+
+// Counter records a final named total with labels (e.g. per-collection
+// token counts split by cpu/gpu ownership).
+func (t *TraceWriter) Counter(name string, labels map[string]string, value float64) {
+	t.emit(traceEvent{Ev: "counter", TS: t.Since(), Name: name, Labels: labels, Value: value})
+}
+
+// Summary records build-end attributes (wall seconds, totals) as the
+// last line of a trace.
+func (t *TraceWriter) Summary(attrs map[string]any) {
+	t.emit(traceEvent{Ev: "summary", TS: t.Since(), Attrs: attrs})
+}
+
+// Close flushes (and closes the underlying file if the writer owns
+// one), returning the first error seen over the trace's lifetime.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	if t.c != nil {
+		if err := t.c.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	return t.err
+}
+
+// TraceStats is ValidateTrace's aggregate view of one build trace.
+type TraceStats struct {
+	Events   int
+	Spans    int
+	Samples  int
+	Counters int
+	WallSec  float64 // from the summary event
+
+	// StageSec sums span durations per stage ("stall" keyed by
+	// "stall:<of>").
+	StageSec map[string]float64
+
+	// WorkerCoverage maps "stage/worker" -> fraction of that worker's
+	// active window [first span start, last span end] covered by its
+	// busy+stall spans. Near 1.0 when stalls are traced.
+	WorkerCoverage map[string]float64
+
+	// BusyStallSec is the total busy+stall span time across parse and
+	// index workers; BusyStallCoverage divides the per-worker average
+	// by the wall clock — the ≥0.9 acceptance gate.
+	BusyStallSec      float64
+	BusyStallCoverage float64
+}
+
+// ValidateTrace parses a JSONL build trace, checking schema shape —
+// first event meta, last event summary, every span with a known stage,
+// non-negative times, per-worker spans non-overlapping (nesting) — and
+// returns aggregate stats. A malformed line or violated invariant
+// returns an error naming the line.
+func ValidateTrace(r io.Reader) (*TraceStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	st := &TraceStats{
+		StageSec:       make(map[string]float64),
+		WorkerCoverage: make(map[string]float64),
+	}
+	known := map[string]bool{
+		StageSampling: true, StageRead: true, StageParse: true,
+		StageIndex: true, StageFlush: true, StageDictCombine: true,
+		StageDictWrite: true, StageStall: true,
+	}
+	type window struct {
+		spans []Span
+	}
+	workers := make(map[string]*window) // "stage/worker" busy+stall streams
+	line := 0
+	var sawMeta, sawSummary bool
+	for sc.Scan() {
+		line++
+		var ev traceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		st.Events++
+		switch ev.Ev {
+		case "meta":
+			if line != 1 {
+				return nil, fmt.Errorf("trace line %d: meta event not first", line)
+			}
+			sawMeta = true
+		case "summary":
+			sawSummary = true
+			if ws, ok := ev.Attrs["wall_sec"].(float64); ok {
+				st.WallSec = ws
+			}
+		case "span":
+			if ev.Span == nil {
+				return nil, fmt.Errorf("trace line %d: span event without span", line)
+			}
+			sp := *ev.Span
+			if !known[sp.Stage] {
+				return nil, fmt.Errorf("trace line %d: unknown stage %q", line, sp.Stage)
+			}
+			if sp.Start < 0 || sp.Dur < 0 {
+				return nil, fmt.Errorf("trace line %d: negative span time", line)
+			}
+			st.Spans++
+			key := sp.Stage
+			if sp.Stage == StageStall {
+				key = "stall:" + sp.Of
+			}
+			st.StageSec[key] += sp.Dur
+			// Group busy+stall per worker stream for overlap and
+			// coverage checks.
+			stream := sp.Stage
+			if sp.Stage == StageStall {
+				stream = sp.Of
+			}
+			if stream == StageParse || stream == StageIndex {
+				wk := fmt.Sprintf("%s/%d", stream, sp.Worker)
+				if workers[wk] == nil {
+					workers[wk] = &window{}
+				}
+				workers[wk].spans = append(workers[wk].spans, sp)
+			}
+		case "sample":
+			st.Samples++
+		case "counter":
+			st.Counters++
+		default:
+			return nil, fmt.Errorf("trace line %d: unknown event %q", line, ev.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("trace: missing meta event")
+	}
+	if !sawSummary {
+		return nil, fmt.Errorf("trace: missing summary event")
+	}
+
+	// Per-worker streams must not overlap (a worker is in one stage at
+	// a time), and busy+stall should tile the worker's active window.
+	var covSum float64
+	var covN int
+	for wk, w := range workers {
+		sort.Slice(w.spans, func(i, j int) bool { return w.spans[i].Start < w.spans[j].Start })
+		var busy, first, last float64
+		first = math.Inf(1)
+		prevEnd := math.Inf(-1)
+		for _, sp := range w.spans {
+			// Tolerate sub-millisecond jitter from clock reads taken
+			// on different goroutines.
+			if sp.Start < prevEnd-1e-3 {
+				return nil, fmt.Errorf("trace: worker %s spans overlap at %.6fs", wk, sp.Start)
+			}
+			if sp.Start < first {
+				first = sp.Start
+			}
+			if end := sp.Start + sp.Dur; end > last {
+				last = end
+			}
+			if end := sp.Start + sp.Dur; end > prevEnd {
+				prevEnd = end
+			}
+			busy += sp.Dur
+		}
+		st.BusyStallSec += busy
+		window := last - first
+		if window <= 0 {
+			st.WorkerCoverage[wk] = 1
+		} else {
+			st.WorkerCoverage[wk] = busy / window
+		}
+		covSum += st.WorkerCoverage[wk]
+		covN++
+	}
+	if covN > 0 && st.WallSec > 0 {
+		// Average worker busy+stall time as a fraction of wall clock:
+		// with head/tail stalls traced this approaches 1 regardless of
+		// executor shape.
+		st.BusyStallCoverage = st.BusyStallSec / (float64(covN) * st.WallSec)
+	}
+	return st, nil
+}
+
+// ValidateTraceFile opens and validates a JSONL build trace.
+func ValidateTraceFile(path string) (*TraceStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ValidateTrace(f)
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// writeTrace builds a small synthetic trace through the public writer
+// API and returns the JSONL bytes.
+func writeTrace(t *testing.T, spans []Span, withMeta, withSummary bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if withMeta {
+		tw.Meta(map[string]any{"files": 2, "parsers": 2})
+	}
+	for _, sp := range spans {
+		tw.Span(sp)
+	}
+	tw.Sample("parser_buffer_depth", 0, 3)
+	tw.Counter("collection_tokens", map[string]string{"coll": "t/he", "kind": "gpu"}, 123)
+	if withSummary {
+		tw.Summary(map[string]any{"wall_sec": 2.0})
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	spans := []Span{
+		{Stage: StageSampling, Worker: -1, File: -1, Start: 0, Dur: 0.1},
+		{Stage: StageRead, Worker: -1, File: 0, Start: 0.1, Dur: 0.2, Bytes: 1024},
+		{Stage: StageStall, Of: StageParse, Worker: 0, File: -1, Start: 0, Dur: 0.3},
+		{Stage: StageParse, Worker: 0, File: 0, Start: 0.3, Dur: 0.5, Bytes: 4096, Tokens: 900, Docs: 10},
+		{Stage: StageStall, Of: StageParse, Worker: 0, File: -1, Start: 0.8, Dur: 1.2},
+		{Stage: StageIndex, Worker: 0, File: 0, Start: 0.8, Dur: 0.7, Tokens: 900},
+		{Stage: StageStall, Of: StageIndex, Worker: 0, File: -1, Start: 0, Dur: 0.8},
+		{Stage: StageStall, Of: StageIndex, Worker: 0, File: -1, Start: 1.5, Dur: 0.5},
+		{Stage: StageFlush, Worker: -1, File: 0, Start: 1.5, Dur: 0.3},
+	}
+	st, err := ValidateTrace(bytes.NewReader(writeTrace(t, spans, true, true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans != len(spans) {
+		t.Errorf("spans = %d, want %d", st.Spans, len(spans))
+	}
+	if st.Samples != 1 || st.Counters != 1 {
+		t.Errorf("samples/counters = %d/%d, want 1/1", st.Samples, st.Counters)
+	}
+	if st.WallSec != 2.0 {
+		t.Errorf("wall = %v, want 2.0", st.WallSec)
+	}
+	if got := st.StageSec[StageParse]; got != 0.5 {
+		t.Errorf("parse seconds = %v, want 0.5", got)
+	}
+	if got := st.StageSec["stall:"+StageIndex]; got != 1.3 {
+		t.Errorf("index stall seconds = %v, want 1.3", got)
+	}
+	// parse/0: busy 0.5 + stalls 0.3+1.2 tile the window [0, 2.0].
+	if cov := st.WorkerCoverage["parse/0"]; cov < 0.999 || cov > 1.001 {
+		t.Errorf("parse/0 coverage = %v, want 1.0", cov)
+	}
+	// Both streams tile [0,2] against wall 2.0 → full coverage.
+	if st.BusyStallCoverage < 0.999 {
+		t.Errorf("busy+stall coverage = %v, want ~1.0", st.BusyStallCoverage)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	base := []Span{{Stage: StageParse, Worker: 0, File: 0, Start: 0, Dur: 1}}
+	cases := []struct {
+		name  string
+		trace []byte
+		want  string
+	}{
+		{"missing meta", writeTrace(t, base, false, true), "missing meta"},
+		{"missing summary", writeTrace(t, base, true, false), "missing summary"},
+		{"unknown stage", writeTrace(t, []Span{{Stage: "warp", Start: 0, Dur: 1}}, true, true), "unknown stage"},
+		{"negative time", writeTrace(t, []Span{{Stage: StageParse, Start: -1, Dur: 1}}, true, true), "negative span time"},
+		{"overlap", writeTrace(t, []Span{
+			{Stage: StageIndex, Worker: 3, Start: 0, Dur: 1},
+			{Stage: StageIndex, Worker: 3, Start: 0.5, Dur: 1},
+		}, true, true), "spans overlap"},
+		{"garbage line", []byte("not json\n"), "line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateTrace(bytes.NewReader(tc.trace))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateTraceOverlapTolerance: sub-millisecond overlap between a
+// worker's consecutive spans is clock jitter, not a nesting violation.
+func TestValidateTraceOverlapTolerance(t *testing.T) {
+	spans := []Span{
+		{Stage: StageIndex, Worker: 0, Start: 0, Dur: 1.0},
+		{Stage: StageIndex, Worker: 0, Start: 0.9995, Dur: 0.5},
+	}
+	if _, err := ValidateTrace(bytes.NewReader(writeTrace(t, spans, true, true))); err != nil {
+		t.Errorf("0.5ms overlap should be tolerated, got %v", err)
+	}
+}
