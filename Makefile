@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check lint smoke bench fuzz differential experiments tools clean
+.PHONY: all build test race check lint smoke bench fuzz differential experiments merge-bench tools clean
 
 all: build test
 
@@ -60,16 +60,28 @@ fuzz:
 	$(GO) test ./internal/parser/ -fuzz FuzzGroupForEach -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzParseRun -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzReadDictionary -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzParseDocLens -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzParseDocTable -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzParseDocMap -fuzztime 30s
 	$(GO) test ./internal/search/ -fuzz FuzzSearchQueries -fuzztime 30s
 
 # Tier-2 differential correctness sweep: the pipelined build vs the
-# reference indexer and all four baselines across 10 seeded corpora,
-# plus the fault-injection matrix, under the race detector. Any failure
+# reference indexer and all four baselines across 10 seeded corpora —
+# including the merged-file parity comparison (every index is merged
+# and re-read through merged.post, which must match the per-run path
+# term for term) — plus the fault-injection matrix (with merged-file
+# truncation/bit-flip faults), under the race detector. Any failure
 # prints its seed; reproduce with:
 #   go test ./internal/verify/ -run 'TestDifferential/seedN' -args -seeds 10
 differential:
 	$(GO) test ./internal/verify/ -race -count=1 -args -seeds 10
 	$(GO) run ./cmd/hetverify -seeds 10 -chaos
+
+# Query-latency comparison before/after the post-processing merge
+# (§III.F): sweeps every dictionary term through per-run assembly, then
+# through merged.post, with the decoded-list cache disabled.
+merge-bench:
+	$(GO) run ./cmd/benchrunner -mergebench -files 8 -scale 0.5
 
 # Paper-style tables and figures (EXPERIMENTS.md reference data).
 experiments:

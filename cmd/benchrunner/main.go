@@ -34,6 +34,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "collection size factor")
 		trials     = flag.Int("trials", 2, "trials per configuration (best kept)")
 		jsonOut    = flag.String("json", "", "write BENCH_*.json stage-level benchmark (throughput + per-stage breakdowns) to this file (\"-\" = stdout)")
+		mergebench = flag.Bool("mergebench", false, "compare query latency before/after the post-processing merge")
 	)
 	flag.Parse()
 	s := experiments.Scale{Files: *files, Factor: *scale}
@@ -148,6 +149,13 @@ func main() {
 	}
 	if *ablations && !*all {
 		runAblations()
+	}
+	if *mergebench {
+		ran = true
+		r, err := experiments.MergeBench(s)
+		check(err)
+		experiments.FprintMergeBench(w, r)
+		fmt.Fprintln(w)
 	}
 	if *jsonOut != "" {
 		ran = true

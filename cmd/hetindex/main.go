@@ -9,6 +9,11 @@
 // in memory (-files, -scale control its size), which makes the command
 // a self-contained demonstration.
 //
+// With -merge, the paper's optional post-processing merge (§III.F)
+// combines the per-run partial lists into a single merged.post after
+// the build; subsequent readers then answer each term lookup with one
+// positioned read instead of touching every run file.
+//
 // Observability:
 //
 //	-progress          live build ticker: docs/s, MB/s, ETA, per-stage utilization
@@ -47,6 +52,7 @@ func main() {
 		positional = flag.Bool("positional", false, "build positional postings (enables phrase queries)")
 		concurrent = flag.Bool("concurrent", false, "run the goroutine-parallel executor")
 		verify     = flag.Bool("verify", false, "run an integrity check on the written index")
+		merge      = flag.Bool("merge", false, "run the post-processing merge on the written index (requires -out)")
 		progress   = flag.Bool("progress", false, "print a live progress ticker while building")
 		metricsOut = flag.String("metrics", "", "write a Prometheus metrics snapshot to this file (\"-\" = stdout)")
 		traceOut   = flag.String("trace", "", "write a JSONL build trace to this file")
@@ -127,8 +133,26 @@ func main() {
 		rep.CPUTokens, rep.CPUTerms, rep.GPUTokens, rep.GPUTerms)
 	fmt.Printf("output: %.2f MB postings, %.2f MB dictionary\n",
 		float64(rep.PostingsBytes)/(1<<20), float64(rep.DictionaryBytes)/(1<<20))
+	if *merge && *out == "" {
+		log.Fatal("-merge requires -out")
+	}
 	if *out != "" {
 		fmt.Printf("index written to %s\n", *out)
+		if *merge {
+			idx, err := fastinvert.Open(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t0 := time.Now()
+			ms, err := idx.Merge()
+			idx.Close()
+			if err != nil {
+				log.Fatalf("merge: %v", err)
+			}
+			fmt.Printf("merged: %d lists from %d runs into %.2f MB (docs [%d,%d]) in %s\n",
+				ms.Lists, ms.Runs, float64(ms.Bytes)/(1<<20), ms.FirstDoc, ms.LastDoc,
+				time.Since(t0).Round(time.Millisecond))
+		}
 		if *verify {
 			vr, err := fastinvert.VerifyIndex(*out)
 			if err != nil {

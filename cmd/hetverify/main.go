@@ -96,5 +96,7 @@ func chaosMatrix(seed int64) []verify.ChaosConfig {
 		{Fault: verify.FaultBitFlipRun, Seed: seed},
 		{Fault: verify.FaultTruncateDict},
 		{Fault: verify.FaultGarbageDocmap},
+		{Fault: verify.FaultTruncateMerged},
+		{Fault: verify.FaultBitFlipMerged, Seed: seed},
 	}
 }

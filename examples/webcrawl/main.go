@@ -76,11 +76,12 @@ func main() {
 	fmt.Printf("term %q: %d postings total, %d in the first half of the crawl\n",
 		term, full.Len(), half.Len())
 
-	// The optional post-processing merge produces a monolithic file.
+	// The optional post-processing merge produces a monolithic file and
+	// switches the reader to one-pread-per-term lookups.
 	merged, err := idx.Merge()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("merged postings file: %d lists, %.2f MB\n",
-		len(merged.Entries), float64(merged.BlobSize())/(1<<20))
+	fmt.Printf("merged postings file: %d lists, %.2f MB from %d runs\n",
+		merged.Lists, float64(merged.Bytes)/(1<<20), merged.Runs)
 }

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fastinvert/internal/core"
+	"fastinvert/internal/store"
+)
+
+// MergeBenchResult compares query latency before and after the
+// post-processing merge (§III.F): the same term sweep served by
+// per-run assembly versus the monolithic merged file.
+type MergeBenchResult struct {
+	Terms int // dictionary terms swept
+	Runs  int // run files in the index
+
+	MergeTime   time.Duration // streaming merge wall time
+	MergedBytes int64         // merged.post size
+
+	PerRunPerTerm time.Duration // mean lookup latency, per-run assembly
+	MergedPerTerm time.Duration // mean lookup latency, merged file
+	PerRunBytes   uint64        // compressed bytes read during the per-run sweep
+	MergedBytes2  uint64        // compressed bytes read during the merged sweep
+	Speedup       float64       // PerRunPerTerm / MergedPerTerm
+}
+
+// MergeBench builds the ClueWeb-like collection to disk, sweeps every
+// dictionary term through the per-run read path, runs the streaming
+// merge, and repeats the sweep through the merged path. Both sweeps
+// disable the decoded-list cache so each lookup pays its real I/O.
+func MergeBench(s Scale) (*MergeBenchResult, error) {
+	dir, err := os.MkdirTemp("", "hetmergebench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	outDir := filepath.Join(dir, "idx")
+
+	cfg := EngineConfig(2, 2, 0)
+	cfg.OutDir = outDir
+	cfg.Concurrent = true
+	eng, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.BuildConcurrentContext(context.Background(), ClueWebSource(s)); err != nil {
+		return nil, err
+	}
+
+	res := &MergeBenchResult{}
+
+	// Per-run sweep on an uncached reader.
+	pre, err := store.OpenIndexWith(outDir, store.ReaderOptions{CacheBytes: 1})
+	if err != nil {
+		return nil, err
+	}
+	res.Runs = len(pre.Runs())
+	terms := termNames(pre.Dictionary())
+	res.Terms = len(terms)
+	perRun, err := sweep(pre, terms)
+	if err != nil {
+		pre.Close()
+		return nil, err
+	}
+	res.PerRunPerTerm = perRun
+	res.PerRunBytes = pre.Stats().ListBytesRead
+	pre.Close()
+
+	// Streaming merge.
+	merger, err := store.OpenIndex(outDir)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	stats, err := merger.Merge()
+	merger.Close()
+	if err != nil {
+		return nil, err
+	}
+	res.MergeTime = time.Since(t0)
+	res.MergedBytes = stats.Bytes
+
+	// Merged sweep on a fresh uncached reader.
+	post, err := store.OpenIndexWith(outDir, store.ReaderOptions{CacheBytes: 1})
+	if err != nil {
+		return nil, err
+	}
+	defer post.Close()
+	if !post.MergedActive() {
+		return nil, fmt.Errorf("experiments: merged file not active after merge")
+	}
+	merged, err := sweep(post, terms)
+	if err != nil {
+		return nil, err
+	}
+	res.MergedPerTerm = merged
+	res.MergedBytes2 = post.Stats().ListBytesRead
+	if st := post.Stats(); st.RunFallbacks != 0 {
+		return nil, fmt.Errorf("experiments: merged sweep fell back to runs (%+v)", st)
+	}
+	if merged > 0 {
+		res.Speedup = float64(perRun) / float64(merged)
+	}
+	return res, nil
+}
+
+// sweep fetches every term once and returns the mean per-term latency.
+func sweep(idx *store.IndexReader, terms []string) (time.Duration, error) {
+	if len(terms) == 0 {
+		return 0, fmt.Errorf("experiments: empty dictionary")
+	}
+	t0 := time.Now()
+	for _, term := range terms {
+		l, err := idx.Postings(term)
+		if err != nil {
+			return 0, fmt.Errorf("experiments: %q: %w", term, err)
+		}
+		if l.Len() == 0 {
+			return 0, fmt.Errorf("experiments: %q: empty postings for dictionary term", term)
+		}
+	}
+	return time.Since(t0) / time.Duration(len(terms)), nil
+}
+
+func termNames(dict []store.DictEntry) []string {
+	out := make([]string, len(dict))
+	for i, e := range dict {
+		out[i] = e.Term
+	}
+	return out
+}
+
+// FprintMergeBench renders the comparison.
+func FprintMergeBench(w io.Writer, r *MergeBenchResult) {
+	fmt.Fprintf(w, "Post-processing merge: query latency, per-run assembly vs merged file\n")
+	fmt.Fprintf(w, "(%d terms, %d runs; decoded-list cache disabled)\n\n", r.Terms, r.Runs)
+	fmt.Fprintf(w, "  merge wall time        %12v  (%.2f MB merged file)\n",
+		r.MergeTime.Round(time.Millisecond), float64(r.MergedBytes)/(1<<20))
+	fmt.Fprintf(w, "  per-run lookup         %12v/term  (%.2f MB read)\n",
+		r.PerRunPerTerm.Round(time.Nanosecond), float64(r.PerRunBytes)/(1<<20))
+	fmt.Fprintf(w, "  merged lookup          %12v/term  (%.2f MB read)\n",
+		r.MergedPerTerm.Round(time.Nanosecond), float64(r.MergedBytes2)/(1<<20))
+	fmt.Fprintf(w, "  speedup                %11.2fx\n", r.Speedup)
+}

@@ -41,3 +41,22 @@ func BenchmarkTopK(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPostingsLookupMerged measures the same lookup after the
+// post-processing merge: the reader answers from merged.post with one
+// binary-searched table hit, one pread and one decode.
+func BenchmarkPostingsLookupMerged(b *testing.B) {
+	idx, ref := buildIndex(b)
+	if _, err := idx.Merge(); err != nil {
+		b.Fatal(err)
+	}
+	s := New(idx)
+	freq, _ := pickTerms(ref)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Postings(freq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -166,6 +166,30 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("hetserve_index_runs",
 		"Run files in the served index.",
 		func() float64 { return float64(len(s.idx.Runs())) })
+	// Store read-path series: whether lookups hit the monolithic merged
+	// file or fell back to per-run assembly, and the raw list I/O both
+	// paths performed. These come from the reader's own atomic counters
+	// (a tier below the term-level cache above).
+	reg.GaugeFunc("hetserve_store_merged_active",
+		"1 when term lookups are served from a validated merged.post, else 0.",
+		func() float64 {
+			if s.idx.MergedActive() {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("hetserve_store_merged_hits_total",
+		"Term lookups answered from the merged postings file.",
+		func() float64 { return float64(s.idx.Stats().MergedHits) })
+	reg.CounterFunc("hetserve_store_run_fallbacks_total",
+		"Term lookups assembled from per-run partial lists.",
+		func() float64 { return float64(s.idx.Stats().RunFallbacks) })
+	reg.CounterFunc("hetserve_store_list_bytes_read_total",
+		"Compressed postings bytes fetched from disk by the reader.",
+		func() float64 { return float64(s.idx.Stats().ListBytesRead) })
+	reg.GaugeFunc("hetserve_store_cache_bytes",
+		"Decoded postings bytes resident in the reader's byte-budgeted LRU.",
+		func() float64 { return float64(s.idx.Stats().CacheBytes) })
 }
 
 // Handler returns the route multiplexer.

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"fastinvert/internal/trie"
 )
 
 func benchLists(n int) (colls []int, slots []int32, docs [][]uint32, tfs [][]uint32) {
@@ -98,6 +100,102 @@ func BenchmarkDictionaryRead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ReadDictionary(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// buildBenchIndex writes a benchIndex-sized multi-run index to a temp
+// dir for read-path benchmarks.
+func buildBenchIndex(b *testing.B, nRuns, termsPerRun int) (string, []string) {
+	b.Helper()
+	dir := b.TempDir()
+	w, err := NewIndexWriter(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var terms []string
+	var dict []DictEntry
+	for t := 0; t < termsPerRun; t++ {
+		term := fmt.Sprintf("term%04d", t)
+		terms = append(terms, term)
+		dict = append(dict, DictEntry{Term: term, Collection: int32(trie.IndexString(term)), Slot: int32(t)})
+	}
+	rng := rand.New(rand.NewSource(7))
+	for r := 0; r < nRuns; r++ {
+		rb := NewRunBuilder()
+		base := uint32(r * 1000)
+		for t := 0; t < termsPerRun; t++ {
+			n := 1 + rng.Intn(32)
+			docs := make([]uint32, n)
+			tfs := make([]uint32, n)
+			cur := base
+			for j := 0; j < n; j++ {
+				cur += uint32(rng.Intn(20)) + 1
+				docs[j] = cur
+				tfs[j] = uint32(rng.Intn(5)) + 1
+			}
+			if err := rb.AddList(trie.IndexString(terms[t]), int32(t), docs, tfs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.WriteRun(rb, base, base+999); err != nil {
+			b.Fatal(err)
+		}
+	}
+	SortDictEntries(dict)
+	if err := w.Finish(dict); err != nil {
+		b.Fatal(err)
+	}
+	return dir, terms
+}
+
+// BenchmarkPostingsPerRun measures a term fetch assembled from partial
+// lists across run files, caching disabled so each op pays real reads.
+func BenchmarkPostingsPerRun(b *testing.B) {
+	dir, terms := buildBenchIndex(b, 8, 200)
+	idx, err := OpenIndexWith(dir, ReaderOptions{CacheBytes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := idx.Postings(terms[i%len(terms)])
+		if err != nil || l.Len() == 0 {
+			b.Fatalf("postings: %v len=%d", err, l.Len())
+		}
+	}
+}
+
+// BenchmarkPostingsMerged measures the same fetch from the merged file
+// — one binary-searched table hit, one pread, one decode.
+func BenchmarkPostingsMerged(b *testing.B) {
+	dir, terms := buildBenchIndex(b, 8, 200)
+	{
+		m, err := OpenIndex(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Merge(); err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+	idx, err := OpenIndexWith(dir, ReaderOptions{CacheBytes: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	if !idx.MergedActive() {
+		b.Fatal("merged not active")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := idx.Postings(terms[i%len(terms)])
+		if err != nil || l.Len() == 0 {
+			b.Fatalf("postings: %v len=%d", err, l.Len())
 		}
 	}
 }

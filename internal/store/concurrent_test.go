@@ -196,3 +196,82 @@ func TestCorruptionErrorsAreTyped(t *testing.T) {
 		t.Fatalf("readDocTable = %v, want ErrCorruptIndex", err)
 	}
 }
+
+// TestCloseRacesMergeAndQueries hammers Close against concurrent
+// Merge and PostingsRange calls (run with -race): every call must
+// either complete or return ErrClosed, and no file handle or goroutine
+// may leak past Close.
+func TestCloseRacesMergeAndQueries(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		idx, terms := buildTestIndex(t)
+		var wg sync.WaitGroup
+		errCh := make(chan error, 32)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					_, err := idx.PostingsRange(terms[(g+i)%len(terms)], 0, 250)
+					if err != nil && !errors.Is(err, ErrClosed) {
+						errCh <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				_, err := idx.Merge()
+				if err != nil && !errors.Is(err, ErrClosed) {
+					errCh <- err
+					return
+				}
+			}
+		}()
+		idx.Close()
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentQueriesOnMergedReader checks the merged read path and
+// its cache under 16-goroutine load.
+func TestConcurrentQueriesOnMergedReader(t *testing.T) {
+	idx, terms := buildTestIndex(t)
+	defer idx.Close()
+	if _, err := idx.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l, err := idx.Postings(terms[(g+i)%len(terms)])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if l.Len() != 6 {
+					errCh <- errors.New("short postings from merged path")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := idx.Stats(); !st.MergedActive || st.MergedHits == 0 {
+		t.Fatalf("merged path not exercised: %+v", st)
+	}
+}

@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"errors"
+	"path/filepath"
 	"testing"
 )
 
@@ -60,6 +62,88 @@ func FuzzReadDictionary(f *testing.F) {
 		back, err := ReadDictionary(&out)
 		if err != nil || len(back) != len(got) {
 			t.Fatalf("round trip failed: %v (%d vs %d)", err, len(back), len(got))
+		}
+	})
+}
+
+// FuzzParseDocLens hardens the doclens.bin parser: arbitrary bytes
+// must parse or fail typed, never panic or over-allocate from a
+// corrupt header count.
+func FuzzParseDocLens(f *testing.F) {
+	valid := make([]byte, 8)
+	putU32At(valid, 0, docLensMagic)
+	putU32At(valid, 4, 2)
+	valid = append(valid, 3, 200)
+	f.Add(valid)
+	f.Add([]byte{})
+	huge := make([]byte, 8)
+	putU32At(huge, 0, docLensMagic)
+	putU32At(huge, 4, 0xFFFFFFFF)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lens, err := parseDocLens(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptIndex) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if len(lens) > len(data) {
+			t.Fatalf("%d entries parsed from %d bytes", len(lens), len(data))
+		}
+	})
+}
+
+// FuzzParseDocTable hardens the doctable.bin parser the same way.
+func FuzzParseDocTable(f *testing.F) {
+	valid := make([]byte, 12)
+	putU32At(valid, 0, docTableMagic)
+	putU32At(valid, 4, 1)
+	putU32At(valid, 8, 1)
+	valid = append(valid, 3, 'a', 'b', 'c') // one name
+	valid = append(valid, 0, 0, 5)          // one (file, off, len) row
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		names, locs, err := parseDocTable(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptIndex) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if len(names) > len(data) || len(locs) > len(data) {
+			t.Fatalf("%d names / %d locs parsed from %d bytes", len(names), len(locs), len(data))
+		}
+		for _, l := range locs {
+			if int(l.FileIdx) >= len(names) {
+				t.Fatalf("loc references name %d of %d", l.FileIdx, len(names))
+			}
+		}
+	})
+}
+
+// FuzzParseDocMap hardens docmap.json validation: parsed rows must
+// never escape the index directory or carry inverted ranges.
+func FuzzParseDocMap(f *testing.F) {
+	f.Add([]byte(`[{"file":"run-00000.post","first_doc":0,"last_doc":9,"lists":1,"bytes":64}]`))
+	f.Add([]byte(`[{"file":"../evil","first_doc":0,"last_doc":9}]`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runs, err := parseDocMap(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptIndex) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		for _, rm := range runs {
+			if rm.File == "" || rm.File != filepath.Base(rm.File) {
+				t.Fatalf("unsafe run file name %q accepted", rm.File)
+			}
+			if rm.LastDoc < rm.FirstDoc {
+				t.Fatalf("inverted doc range accepted: %+v", rm)
+			}
 		}
 	})
 }

@@ -46,3 +46,21 @@ func TestDictFormatGolden(t *testing.T) {
 		t.Errorf("dictionary format changed: sha256 = %s, want %s", got, want)
 	}
 }
+
+// TestRunMagicGolden pins the magic bytes themselves. The u32 constant
+// 0x4652494e spells "FRIN" — a historic transposition of the intended
+// 'FIRN' — and is little-endian on disk, so the first four file bytes
+// are 4e 49 52 46. Every existing index starts with these bytes; they
+// are the format, typo and all.
+func TestRunMagicGolden(t *testing.T) {
+	b := NewRunBuilder()
+	b.AddList(1, 0, []uint32{1}, []uint32{1})
+	data := b.Finalize(1, 1)
+	want := []byte{0x4e, 0x49, 0x52, 0x46}
+	if !bytes.Equal(data[:4], want) {
+		t.Errorf("run magic bytes = % x, want % x", data[:4], want)
+	}
+	if runMagic != 0x4652494e {
+		t.Errorf("runMagic = %#x, want 0x4652494e (FRIN)", runMagic)
+	}
+}

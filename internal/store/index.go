@@ -3,11 +3,14 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fastinvert/internal/encoding"
 	"fastinvert/internal/postings"
@@ -111,20 +114,24 @@ func (w *IndexWriter) WriteDocTable(fileNames []string, locs []DocLocation) erro
 	return os.WriteFile(filepath.Join(w.dir, "doctable.bin"), buf, 0o644)
 }
 
-// readDocTable loads the optional doc table.
-func readDocTable(dir string) (names []string, locs []DocLocation, err error) {
-	data, err := os.ReadFile(filepath.Join(dir, "doctable.bin"))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil, nil
-		}
-		return nil, nil, err
-	}
+// parseDocTable decodes doctable.bin bytes. The u32 header counts are
+// untrusted: every name costs at least one byte and every doc row at
+// least three, so counts are bounded by the remaining file size before
+// anything proportional to them is allocated — an 8-byte corrupt file
+// must not demand gigabytes.
+func parseDocTable(data []byte) (names []string, locs []DocLocation, err error) {
 	if len(data) < 12 || binary.LittleEndian.Uint32(data) != docTableMagic {
 		return nil, nil, fmt.Errorf("doc table header: %w", ErrCorruptIndex)
 	}
 	nNames := int(binary.LittleEndian.Uint32(data[4:]))
 	nDocs := int(binary.LittleEndian.Uint32(data[8:]))
+	rest := len(data) - 12
+	if nNames < 0 || nNames > rest {
+		return nil, nil, fmt.Errorf("doc table claims %d names in %d bytes: %w", nNames, rest, ErrCorruptIndex)
+	}
+	if nDocs < 0 || nDocs > rest/3 {
+		return nil, nil, fmt.Errorf("doc table claims %d docs in %d bytes: %w", nDocs, rest, ErrCorruptIndex)
+	}
 	pos := 12
 	read := func() (uint64, bool) {
 		v, m := encoding.UvarByte(data[pos:])
@@ -136,7 +143,7 @@ func readDocTable(dir string) (names []string, locs []DocLocation, err error) {
 	}
 	for i := 0; i < nNames; i++ {
 		n, ok := read()
-		if !ok || pos+int(n) > len(data) {
+		if !ok || n > uint64(len(data)) || pos+int(n) > len(data) {
 			return nil, nil, fmt.Errorf("doc table names: %w", ErrCorruptIndex)
 		}
 		names = append(names, string(data[pos:pos+int(n)]))
@@ -155,19 +162,29 @@ func readDocTable(dir string) (names []string, locs []DocLocation, err error) {
 	return names, locs, nil
 }
 
-// readDocLens loads the optional document-length file.
-func readDocLens(dir string) ([]uint32, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "doclens.bin"))
+// readDocTable loads the optional doc table.
+func readDocTable(dir string) (names []string, locs []DocLocation, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, "doctable.bin"))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, nil, nil
 		}
-		return nil, err
+		return nil, nil, err
 	}
+	return parseDocTable(data)
+}
+
+// parseDocLens decodes doclens.bin bytes. Like parseDocTable, the
+// header count is checked against the remaining size (one byte per
+// entry minimum) before the slice is allocated.
+func parseDocLens(data []byte) ([]uint32, error) {
 	if len(data) < 8 || binary.LittleEndian.Uint32(data) != docLensMagic {
 		return nil, fmt.Errorf("doclens header: %w", ErrCorruptIndex)
 	}
 	n := int(binary.LittleEndian.Uint32(data[4:]))
+	if n < 0 || n > len(data)-8 {
+		return nil, fmt.Errorf("doclens claims %d entries in %d bytes: %w", n, len(data)-8, ErrCorruptIndex)
+	}
 	lens := make([]uint32, n)
 	pos := 8
 	for i := 0; i < n; i++ {
@@ -179,6 +196,42 @@ func readDocLens(dir string) ([]uint32, error) {
 		pos += m
 	}
 	return lens, nil
+}
+
+// readDocLens loads the optional document-length file.
+func readDocLens(dir string) ([]uint32, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "doclens.bin"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return parseDocLens(data)
+}
+
+// parseDocMap decodes docmap.json bytes and validates each row: run
+// file names must be plain names inside the index directory (no
+// separators, no traversal), doc ranges must be ordered, counts
+// non-negative. A hostile docmap must not make the reader open
+// arbitrary paths.
+func parseDocMap(raw []byte) ([]RunMeta, error) {
+	var runs []RunMeta
+	if err := json.Unmarshal(raw, &runs); err != nil {
+		return nil, fmt.Errorf("docmap (%v): %w", err, ErrCorruptIndex)
+	}
+	for i, rm := range runs {
+		if rm.File == "" || rm.File == "." || rm.File == ".." || rm.File != filepath.Base(rm.File) {
+			return nil, fmt.Errorf("docmap run %d: bad file name %q: %w", i, rm.File, ErrCorruptIndex)
+		}
+		if rm.LastDoc < rm.FirstDoc {
+			return nil, fmt.Errorf("docmap run %d: doc range [%d,%d]: %w", i, rm.FirstDoc, rm.LastDoc, ErrCorruptIndex)
+		}
+		if rm.Lists < 0 || rm.Bytes < 0 {
+			return nil, fmt.Errorf("docmap run %d: negative counts: %w", i, ErrCorruptIndex)
+		}
+	}
+	return runs, nil
 }
 
 // Finish writes the dictionary and the auxiliary doc map, completing
@@ -212,15 +265,28 @@ func (w *IndexWriter) Finish(dict []DictEntry) error {
 // Runs returns the recorded run metadata.
 func (w *IndexWriter) Runs() []RunMeta { return w.runs }
 
+// ReaderOptions tunes an IndexReader.
+type ReaderOptions struct {
+	// CacheBytes is the decoded-postings cache budget. Zero selects the
+	// 32 MiB default; use 1 to effectively disable caching.
+	CacheBytes int64
+}
+
 // IndexReader opens a finished index directory for queries.
 //
+// Memory model: the dictionary, doc map, doc lengths and doc table are
+// loaded up front. Postings stay on disk — each run file (and the
+// merged file, when present) is held as an open handle plus its parsed
+// entry table, and individual lists are fetched with one positioned
+// read and decoded on demand. Decoded lists are cached in a
+// byte-budgeted LRU, so reader RSS is bounded by O(tables) + the cache
+// budget regardless of index size.
+//
 // Concurrency: an IndexReader is safe for use by any number of
-// goroutines after OpenIndex returns. The dictionary, doc map, doc
-// lengths and doc table are immutable once loaded; the lazy run cache
-// is synchronized internally, and concurrent first touches of the same
-// run file coalesce into a single load. Close may race with in-flight
-// readers: each call either completes against the open reader or
-// returns ErrClosed, never a torn state.
+// goroutines after OpenIndex returns. Concurrent first touches of the
+// same run file coalesce into a single open+verify. Close may race
+// with in-flight readers: each call either completes against the open
+// reader or returns ErrClosed, never a torn state.
 type IndexReader struct {
 	dir     string
 	dict    []DictEntry
@@ -230,22 +296,42 @@ type IndexReader struct {
 	docFiles []string      // optional doc table: source file names
 	docLocs  []DocLocation // optional doc table: per-doc locations
 
-	mu       sync.Mutex
-	closed   bool
-	runCache map[string]*runSlot // parsed run files, loaded on first use
+	cache *listCache
+
+	mergeMu sync.Mutex // serializes Merge invocations
+
+	mu        sync.Mutex
+	closed    bool
+	runFiles  map[string]*runSlot // lazy run readers, opened on first use
+	merged    *mergedState        // non-nil when a trusted merged file is active
+	mergedErr error               // sidecar present but merged file unusable
+
+	mergedHits   atomic.Uint64
+	runFallbacks atomic.Uint64
+	listBytes    atomic.Uint64
 }
 
-// runSlot coalesces concurrent loads of one run file: the first
-// goroutine to claim the slot parses the file inside once, later
-// arrivals block on it and share the result.
+// runSlot coalesces concurrent opens of one run file: the first
+// goroutine to claim the slot opens and verifies the file once, later
+// arrivals block on it and share the handle.
 type runSlot struct {
 	once sync.Once
-	run  *Run
+	rr   *runReader
 	err  error
 }
 
-// OpenIndex reads the dictionary and doc map of a finished index.
+// OpenIndex reads the dictionary and doc map of a finished index with
+// default options.
 func OpenIndex(dir string) (*IndexReader, error) {
+	return OpenIndexWith(dir, ReaderOptions{})
+}
+
+// OpenIndexWith opens a finished index with explicit options. When the
+// directory carries a merged file recorded by a trusted sidecar, term
+// lookups are served from it with a single positioned read each; a
+// sidecar whose merged file fails validation is remembered (see
+// Verify) and the reader falls back to per-run assembly.
+func OpenIndexWith(dir string, opts ReaderOptions) (*IndexReader, error) {
 	f, err := os.Open(filepath.Join(dir, "dictionary.fidc"))
 	if err != nil {
 		return nil, err
@@ -259,9 +345,9 @@ func OpenIndex(dir string) (*IndexReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	var runs []RunMeta
-	if err := json.Unmarshal(raw, &runs); err != nil {
-		return nil, fmt.Errorf("docmap (%v): %w", err, ErrCorruptIndex)
+	runs, err := parseDocMap(raw)
+	if err != nil {
+		return nil, err
 	}
 	lens, err := readDocLens(dir)
 	if err != nil {
@@ -271,29 +357,50 @@ func OpenIndex(dir string) (*IndexReader, error) {
 	if err != nil {
 		return nil, err
 	}
+	merged, mergedErr := loadMerged(dir)
 	return &IndexReader{
-		dir:      dir,
-		dict:     dict,
-		runs:     runs,
-		docLens:  lens,
-		docFiles: names,
-		docLocs:  locs,
-		runCache: make(map[string]*runSlot),
+		dir:       dir,
+		dict:      dict,
+		runs:      runs,
+		docLens:   lens,
+		docFiles:  names,
+		docLocs:   locs,
+		cache:     newListCache(opts.CacheBytes),
+		runFiles:  make(map[string]*runSlot),
+		merged:    merged,
+		mergedErr: mergedErr,
 	}, nil
 }
 
-// Close releases the reader: the run cache is dropped so parsed
-// postings become collectable, and every subsequent query method
-// returns ErrClosed. Close is idempotent and safe to call while
-// queries are in flight — they either complete or observe ErrClosed.
+// Close releases the reader: every run (and merged) file handle is
+// closed, the decoded-list cache is dropped, and every subsequent
+// query method returns ErrClosed. Close is idempotent and safe to call
+// while queries are in flight — they either complete or observe
+// ErrClosed.
 func (r *IndexReader) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.closed {
+		r.mu.Unlock()
 		return nil
 	}
 	r.closed = true
-	r.runCache = nil
+	slots := r.runFiles
+	merged := r.merged
+	r.runFiles = nil
+	r.merged = nil
+	r.mu.Unlock()
+
+	for _, slot := range slots {
+		// once.Do waits out any in-flight open, so no handle escapes.
+		slot.once.Do(func() { slot.err = ErrClosed })
+		if slot.rr != nil {
+			slot.rr.close()
+		}
+	}
+	if merged != nil {
+		merged.rr.close()
+	}
+	r.cache.purge()
 	return nil
 }
 
@@ -322,46 +429,57 @@ func (r *IndexReader) DocLocation(doc uint32) (file string, offset, length uint3
 // index was written with them, else nil.
 func (r *IndexReader) DocLens() []uint32 { return r.docLens }
 
-// run returns the parsed run file, loading and caching it on first
-// use — queries touching many terms then read each file once. The
-// per-file runSlot serializes the load while letting distinct files
-// parse concurrently.
-func (r *IndexReader) run(meta RunMeta) (*Run, error) {
+// runFile returns the lazy reader for one run file, opening and
+// CRC-verifying it on first use. The per-file runSlot serializes the
+// open while letting distinct files open concurrently.
+func (r *IndexReader) runFile(meta RunMeta) (*runReader, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		return nil, ErrClosed
 	}
-	slot, ok := r.runCache[meta.File]
+	slot, ok := r.runFiles[meta.File]
 	if !ok {
 		slot = &runSlot{}
-		r.runCache[meta.File] = slot
+		r.runFiles[meta.File] = slot
 	}
 	r.mu.Unlock()
 	slot.once.Do(func() {
-		data, err := os.ReadFile(filepath.Join(r.dir, meta.File))
-		if err != nil {
-			slot.err = err
-			return
-		}
-		run, err := ParseRun(data)
+		rr, err := openRunReader(filepath.Join(r.dir, meta.File))
 		if err != nil {
 			slot.err = fmt.Errorf("store: %s: %w", meta.File, err)
 			return
 		}
-		slot.run = run
+		slot.rr = rr
 	})
 	if slot.err != nil {
-		// Do not pin a failed load: drop the slot so a later call can
+		if errors.Is(slot.err, ErrClosed) {
+			return nil, ErrClosed
+		}
+		// Do not pin a failed open: drop the slot so a later call can
 		// retry (transient I/O errors should not poison the cache).
 		r.mu.Lock()
-		if r.runCache[meta.File] == slot {
-			delete(r.runCache, meta.File)
+		if r.runFiles != nil && r.runFiles[meta.File] == slot {
+			delete(r.runFiles, meta.File)
 		}
 		r.mu.Unlock()
 		return nil, slot.err
 	}
-	return slot.run, nil
+	return slot.rr, nil
+}
+
+// readErr classifies a positioned-read failure: reads against a closed
+// reader surface ErrClosed, truncation mid-file is corruption, and
+// anything else passes through with the file name attached.
+func (r *IndexReader) readErr(name string, err error) error {
+	switch {
+	case errors.Is(err, os.ErrClosed):
+		return ErrClosed
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return fmt.Errorf("store: %s: truncated read: %w", name, ErrCorruptIndex)
+	default:
+		return fmt.Errorf("store: %s: %w", name, err)
+	}
 }
 
 // Terms reports the dictionary size.
@@ -372,6 +490,54 @@ func (r *IndexReader) Dictionary() []DictEntry { return r.dict }
 
 // Runs exposes the doc-range map.
 func (r *IndexReader) Runs() []RunMeta { return r.runs }
+
+// MergedActive reports whether term lookups are currently served from
+// a validated merged file.
+func (r *IndexReader) MergedActive() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.merged != nil
+}
+
+// MergedErr returns the validation error of a merged sidecar that was
+// present but could not be trusted (nil when absent or healthy). The
+// reader still serves queries by per-run assembly in that state;
+// Verify surfaces the error.
+func (r *IndexReader) MergedErr() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mergedErr
+}
+
+// ReaderStats is a point-in-time snapshot of reader activity.
+type ReaderStats struct {
+	MergedActive  bool
+	MergedHits    uint64 // lookups answered from the merged file
+	RunFallbacks  uint64 // lookups assembled from per-run partial lists
+	ListBytesRead uint64 // compressed list bytes fetched from disk
+
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	CacheBytes     int64 // resident decoded-list bytes
+	CacheEntries   int
+}
+
+// Stats snapshots reader counters.
+func (r *IndexReader) Stats() ReaderStats {
+	bytes, entries := r.cache.occupancy()
+	return ReaderStats{
+		MergedActive:   r.MergedActive(),
+		MergedHits:     r.mergedHits.Load(),
+		RunFallbacks:   r.runFallbacks.Load(),
+		ListBytesRead:  r.listBytes.Load(),
+		CacheHits:      r.cache.hits.Load(),
+		CacheMisses:    r.cache.misses.Load(),
+		CacheEvictions: r.cache.evictions.Load(),
+		CacheBytes:     bytes,
+		CacheEntries:   entries,
+	}
+}
 
 // LookupTerm resolves a normalized term to its dictionary entry. A
 // miss returns an error wrapping ErrTermNotFound — use this when the
@@ -390,123 +556,123 @@ func (r *IndexReader) LookupTerm(term string) (DictEntry, error) {
 }
 
 // Postings returns the full postings list of a term (stemmed, lowercase
-// — the caller applies the same normalization as indexing), merging
-// the partial lists across run files in doc order. Missing terms yield
-// an empty list.
+// — the caller applies the same normalization as indexing). Missing
+// terms yield an empty list. With a merged file active this is one
+// binary-searched table hit, one positioned read and one decode;
+// otherwise partial lists are assembled across run files in doc order.
 func (r *IndexReader) Postings(term string) (*postings.List, error) {
 	return r.PostingsRange(term, 0, ^uint32(0))
 }
 
-// PostingsRange fetches only the partial lists whose run doc ranges
-// overlap [minDoc, maxDoc] — the paper's "faster search when narrowed
-// down to a range of document IDs" benefit of the per-run format.
+// PostingsRange restricts the fetch to [minDoc, maxDoc]. On the
+// per-run path only runs whose doc ranges overlap are touched — the
+// paper's "faster search when narrowed down to a range of document
+// IDs" benefit of the per-run format; the merged path slices the
+// single list by binary search.
 func (r *IndexReader) PostingsRange(term string, minDoc, maxDoc uint32) (*postings.List, error) {
 	if err := r.checkClosed(); err != nil {
 		return nil, err
 	}
 	coll := trie.IndexString(term)
-	stripped := string(trie.Strip(coll, []byte(term)))
-	_ = stripped // dictionary stores restored terms; lookup by full term
 	e, ok := Lookup(r.dict, int32(coll), term)
 	if !ok {
 		return &postings.List{}, nil
 	}
+
+	r.mu.Lock()
+	m := r.merged
+	r.mu.Unlock()
+	if m != nil {
+		l, err := r.lookupList(m.key, m.rr, uint32(e.Collection), uint32(e.Slot), m.find)
+		if err == nil {
+			r.mergedHits.Add(1)
+			return sliceRange(l, minDoc, maxDoc), nil
+		}
+		if errors.Is(err, ErrClosed) {
+			return nil, err
+		}
+		// Merged read failed under us (e.g. the file vanished or went
+		// bad after open): serve from the runs instead of failing the
+		// query.
+	}
+
+	r.runFallbacks.Add(1)
 	out := &postings.List{}
 	for _, rm := range r.runs {
 		if rm.LastDoc < minDoc || rm.FirstDoc > maxDoc {
 			continue
 		}
-		run, err := r.run(rm)
+		rr, err := r.runFile(rm)
 		if err != nil {
 			return nil, err
 		}
-		docIDs, tfs, positions, found, err := run.PositionalList(int(e.Collection), e.Slot)
+		part, err := r.lookupList(rr.name, rr, uint32(e.Collection), uint32(e.Slot),
+			func(c, s uint32) (RunEntry, bool) { return rr.find(c, s) })
 		if err != nil {
 			return nil, err
 		}
-		if !found {
+		if part == nil {
 			continue
 		}
-		part := &postings.List{DocIDs: docIDs, TFs: tfs, Positions: positions}
 		if err := postings.Concat(out, part); err != nil {
 			return nil, fmt.Errorf("store: %s: %w", rm.File, err)
 		}
 	}
-	return out, nil
+	// Trim postings the boundary runs carry outside [minDoc, maxDoc] so
+	// both paths return the same exact range.
+	return sliceRange(out, minDoc, maxDoc), nil
 }
 
-// Merge combines all partial postings lists into a single monolithic
-// file "merged.post" with one list per term, the optional
-// post-processing step the paper prices at <10% of total time. It
-// returns the merged run for inspection.
-func (r *IndexReader) Merge() (*Run, error) {
-	if err := r.checkClosed(); err != nil {
-		return nil, err
+// lookupList fetches one (collection, slot) list from a run-format
+// file through the decoded-list cache: a cache hit costs no I/O, a
+// miss costs exactly one positioned read plus one decode. A list the
+// file does not hold returns (nil, nil). Returned lists are shared and
+// must not be mutated.
+func (r *IndexReader) lookupList(cacheFile string, rr *runReader, coll, slot uint32,
+	find func(uint32, uint32) (RunEntry, bool)) (*postings.List, error) {
+	e, ok := find(coll, slot)
+	if !ok {
+		return nil, nil
 	}
-	type key struct {
-		coll uint32
-		slot uint32
+	key := listKey{file: cacheFile, coll: coll, slot: slot}
+	if l, ok := r.cache.get(key); ok {
+		return l, nil
 	}
-	merged := map[key]*postings.List{}
-	var order []key
-	for _, rm := range r.runs {
-		run, err := r.run(rm)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range run.Entries {
-			k := key{e.Collection, e.Slot}
-			dst := merged[k]
-			if dst == nil {
-				dst = &postings.List{}
-				merged[k] = dst
-				order = append(order, k)
-			}
-			docIDs, tfs, positions, _, err := run.PositionalList(int(e.Collection), int32(e.Slot))
-			if err != nil {
-				return nil, err
-			}
-			part := &postings.List{DocIDs: docIDs, TFs: tfs, Positions: positions}
-			if err := postings.Concat(dst, part); err != nil {
-				return nil, fmt.Errorf("store: merge (%d,%d): %w", e.Collection, e.Slot, err)
-			}
-		}
+	blob, err := rr.readBlob(e)
+	if err != nil {
+		return nil, r.readErr(rr.name, err)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].coll != order[j].coll {
-			return order[i].coll < order[j].coll
-		}
-		return order[i].slot < order[j].slot
-	})
-	b := NewRunBuilder()
-	var first, last uint32
-	first = ^uint32(0)
-	for _, k := range order {
-		l := merged[k]
-		var err error
-		if l.Positional() {
-			err = b.AddPositionalList(int(k.coll), int32(k.slot), l.DocIDs, l.TFs, l.Positions)
-		} else {
-			err = b.AddList(int(k.coll), int32(k.slot), l.DocIDs, l.TFs)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if l.Len() > 0 {
-			if l.DocIDs[0] < first {
-				first = l.DocIDs[0]
-			}
-			if l.DocIDs[l.Len()-1] > last {
-				last = l.DocIDs[l.Len()-1]
-			}
-		}
+	r.listBytes.Add(uint64(e.Length))
+	l, err := decodeEntry(blob, e)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", rr.name, err)
 	}
-	if first == ^uint32(0) {
-		first = 0
+	r.cache.put(key, l)
+	return l, nil
+}
+
+// sliceRange narrows a sorted postings list to [minDoc, maxDoc]. The
+// full range returns the list unchanged (it may be cache-shared);
+// narrowed results alias the original's backing arrays, which is safe
+// under the lists-are-immutable contract.
+func sliceRange(l *postings.List, minDoc, maxDoc uint32) *postings.List {
+	if l == nil {
+		return &postings.List{}
 	}
-	data := b.Finalize(first, last)
-	if err := os.WriteFile(filepath.Join(r.dir, "merged.post"), data, 0o644); err != nil {
-		return nil, err
+	lo := 0
+	hi := len(l.DocIDs)
+	if minDoc > 0 {
+		lo = sort.Search(len(l.DocIDs), func(i int) bool { return l.DocIDs[i] >= minDoc })
 	}
-	return ParseRun(data)
+	if maxDoc < ^uint32(0) {
+		hi = sort.Search(len(l.DocIDs), func(i int) bool { return l.DocIDs[i] > maxDoc })
+	}
+	if lo == 0 && hi == len(l.DocIDs) {
+		return l
+	}
+	out := &postings.List{DocIDs: l.DocIDs[lo:hi], TFs: l.TFs[lo:hi]}
+	if l.Positions != nil {
+		out.Positions = l.Positions[lo:hi]
+	}
+	return out
 }

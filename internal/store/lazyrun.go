@@ -1,0 +1,157 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"fastinvert/internal/encoding"
+	"fastinvert/internal/postings"
+)
+
+// runReader is the lazy, handle-based view of one run file (or the
+// merged file): the header and mapping table are parsed up front, the
+// compressed blob stays on disk and individual lists are fetched with
+// one positioned read each. This is what bounds reader memory — the
+// old path parsed whole run files into RAM and kept them forever.
+type runReader struct {
+	name     string // file name, for cache keys and error messages
+	f        *os.File
+	size     int64
+	firstDoc uint32
+	lastDoc  uint32
+	entries  []RunEntry
+	blobOff  int64
+	lookup   map[uint64]int // (coll<<32|slot) -> entry index
+}
+
+// openRunReader opens path, parses the header and table, verifies the
+// whole-file CRC with one streaming pass (bounded memory — nothing is
+// retained), and leaves the handle open for per-list positioned reads.
+// Every structural failure wraps ErrCorruptIndex.
+func openRunReader(path string) (*runReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := parseRunReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func parseRunReader(f *os.File) (*runReader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < runHdrSize {
+		return nil, ErrCorruptRun
+	}
+	var hdr [runHdrSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: short header read", ErrCorruptRun)
+	}
+	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(hdr[off:]) }
+	if get32(0) != runMagic || get32(4) != runVersion {
+		return nil, ErrCorruptRun
+	}
+	n := int(get32(8))
+	// The count is untrusted: bound it by the bytes available for the
+	// table before allocating anything proportional to it. The division
+	// form cannot overflow no matter what the header claims.
+	if n < 0 || n > int((size-runHdrSize)/entrySize) {
+		return nil, ErrCorruptRun
+	}
+	table := make([]byte, n*entrySize)
+	if _, err := f.ReadAt(table, runHdrSize); err != nil {
+		return nil, fmt.Errorf("%w: short table read", ErrCorruptRun)
+	}
+	// One streaming pass verifies the table+blob checksum without
+	// holding the blob: a bit flip anywhere past the header is caught
+	// here, exactly as the whole-file parse used to catch it.
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, io.NewSectionReader(f, runHdrSize, size-runHdrSize)); err != nil {
+		return nil, fmt.Errorf("%w: crc stream: %v", ErrCorruptRun, err)
+	}
+	if crc.Sum32() != get32(20) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptRun)
+	}
+	r := &runReader{
+		name:     st.Name(),
+		f:        f,
+		size:     size,
+		firstDoc: get32(12),
+		lastDoc:  get32(16),
+		entries:  make([]RunEntry, n),
+		blobOff:  int64(runHdrSize + n*entrySize),
+		lookup:   make(map[uint64]int, n),
+	}
+	blobLen := uint64(size - r.blobOff)
+	for i := 0; i < n; i++ {
+		off := i * entrySize
+		e := RunEntry{
+			Collection: binary.LittleEndian.Uint32(table[off:]),
+			Slot:       binary.LittleEndian.Uint32(table[off+4:]),
+			Offset:     binary.LittleEndian.Uint64(table[off+8:]),
+			Length:     binary.LittleEndian.Uint32(table[off+16:]),
+			Count:      binary.LittleEndian.Uint32(table[off+20:]),
+			Flags:      binary.LittleEndian.Uint32(table[off+24:]),
+		}
+		if e.Offset+uint64(e.Length) > blobLen || e.Offset+uint64(e.Length) < e.Offset {
+			return nil, ErrCorruptRun
+		}
+		if uint64(e.Count)*2 > uint64(e.Length) {
+			return nil, ErrCorruptRun
+		}
+		r.entries[i] = e
+		r.lookup[uint64(e.Collection)<<32|uint64(e.Slot)] = i
+	}
+	return r, nil
+}
+
+// find locates the entry for (collection, slot).
+func (r *runReader) find(coll uint32, slot uint32) (RunEntry, bool) {
+	i, ok := r.lookup[uint64(coll)<<32|uint64(slot)]
+	if !ok {
+		return RunEntry{}, false
+	}
+	return r.entries[i], true
+}
+
+// readBlob fetches one entry's compressed bytes with a single
+// positioned read.
+func (r *runReader) readBlob(e RunEntry) ([]byte, error) {
+	if e.Length == 0 {
+		return nil, nil
+	}
+	buf := make([]byte, e.Length)
+	if _, err := r.f.ReadAt(buf, r.blobOff+int64(e.Offset)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (r *runReader) close() error { return r.f.Close() }
+
+// decodeEntry decodes one entry's blob bytes into a postings list.
+func decodeEntry(blob []byte, e RunEntry) (*postings.List, error) {
+	var (
+		l   postings.List
+		err error
+	)
+	if e.Flags&FlagPositional != 0 {
+		l.DocIDs, l.TFs, l.Positions, _, err = encoding.DecodePositionalPostings(blob, int(e.Count))
+	} else {
+		l.DocIDs, l.TFs, _, err = encoding.DecodePostings(blob, int(e.Count))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &l, nil
+}

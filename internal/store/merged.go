@@ -1,0 +1,467 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"fastinvert/internal/encoding"
+	"fastinvert/internal/postings"
+)
+
+// Merged-file layout: merged.post reuses the run-file format (header,
+// mapping table, blob) with the table sorted by (collection, slot) so
+// a term lookup is one binary search, one positioned read and one
+// decode. The file is only trusted when the versioned sidecar
+// merged.json matches it: the sidecar records the format version, the
+// exact byte size and the table+blob CRC, all verified at open. Both
+// files are written atomically (temp + fsync + rename), so a crash
+// mid-merge leaves the previous index fully intact.
+const (
+	mergedFileName    = "merged.post"
+	mergedSidecarName = "merged.json"
+	// mergedSidecarVersion gates trust: a sidecar with a different
+	// version is ignored and the reader falls back to per-run assembly.
+	mergedSidecarVersion = 1
+)
+
+// mergedSidecar is the on-disk merged.json shape.
+type mergedSidecar struct {
+	Version  int    `json:"version"`
+	File     string `json:"file"`
+	Size     int64  `json:"size"`
+	CRC32    uint32 `json:"crc32"`
+	Lists    int    `json:"lists"`
+	FirstDoc uint32 `json:"first_doc"`
+	LastDoc  uint32 `json:"last_doc"`
+	Runs     int    `json:"runs"`
+}
+
+// mergedGen stamps each loaded merged file so reader-cache keys from a
+// superseded merge can never alias a re-merged file's lists.
+var mergedGen atomic.Uint64
+
+// mergedState is an open, verified merged file.
+type mergedState struct {
+	rr  *runReader
+	key string // generation-stamped cache-key prefix
+}
+
+// loadMerged opens and verifies the merged file of an index directory.
+// Returns (nil, nil) when no sidecar exists (the index was never
+// merged, or was merged by a pre-sidecar version — either way the
+// merged file is not trusted). A sidecar that exists but does not
+// match the merged file yields a nil state and an error wrapping
+// ErrCorruptIndex: OpenIndex records it and falls back to per-run
+// assembly, Verify surfaces it.
+func loadMerged(dir string) (*mergedState, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, mergedSidecarName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var sc mergedSidecar
+	if err := json.Unmarshal(raw, &sc); err != nil {
+		return nil, fmt.Errorf("merged sidecar (%v): %w", err, ErrCorruptIndex)
+	}
+	if sc.Version != mergedSidecarVersion {
+		// A future format we do not understand: not corruption, just
+		// not trustable. Fall back silently.
+		return nil, nil
+	}
+	if sc.File != mergedFileName {
+		return nil, fmt.Errorf("merged sidecar names %q: %w", sc.File, ErrCorruptIndex)
+	}
+	path := filepath.Join(dir, mergedFileName)
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("merged file missing (%v): %w", err, ErrCorruptIndex)
+	}
+	if st.Size() != sc.Size {
+		return nil, fmt.Errorf("merged file is %d bytes, sidecar says %d: %w",
+			st.Size(), sc.Size, ErrCorruptIndex)
+	}
+	rr, err := openRunReader(path)
+	if err != nil {
+		return nil, fmt.Errorf("merged: %w", err)
+	}
+	hdrCRC, err := readRunCRC(rr.f)
+	if err != nil {
+		rr.close()
+		return nil, err
+	}
+	if hdrCRC != sc.CRC32 || len(rr.entries) != sc.Lists {
+		rr.close()
+		return nil, fmt.Errorf("merged file does not match sidecar: %w", ErrCorruptIndex)
+	}
+	// The binary-searched lookup requires the table sorted by
+	// (collection, slot); the writer guarantees it, a tampered file
+	// might not.
+	for i := 1; i < len(rr.entries); i++ {
+		p, c := rr.entries[i-1], rr.entries[i]
+		if c.Collection < p.Collection ||
+			(c.Collection == p.Collection && c.Slot <= p.Slot) {
+			rr.close()
+			return nil, fmt.Errorf("merged table disorder at entry %d: %w", i, ErrCorruptIndex)
+		}
+	}
+	return &mergedState{
+		rr:  rr,
+		key: fmt.Sprintf("%s#%d", mergedFileName, mergedGen.Add(1)),
+	}, nil
+}
+
+// readRunCRC reads the CRC field of an open run-format file.
+func readRunCRC(f *os.File) (uint32, error) {
+	var b [4]byte
+	if _, err := f.ReadAt(b[:], 20); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// find binary-searches the sorted merged table.
+func (m *mergedState) find(coll, slot uint32) (RunEntry, bool) {
+	es := m.rr.entries
+	i := sort.Search(len(es), func(i int) bool {
+		if es[i].Collection != coll {
+			return es[i].Collection >= coll
+		}
+		return es[i].Slot >= slot
+	})
+	if i < len(es) && es[i].Collection == coll && es[i].Slot == slot {
+		return es[i], true
+	}
+	return RunEntry{}, false
+}
+
+// MergeStats summarizes one post-processing merge.
+type MergeStats struct {
+	Lists    int    // merged postings lists (distinct terms with postings)
+	Bytes    int64  // total merged.post size
+	FirstDoc uint32 // global doc range covered
+	LastDoc  uint32
+	Runs     int // source run files combined
+}
+
+// mergeCursor walks one run's entries in (collection, slot) order.
+type mergeCursor struct {
+	rr      *runReader
+	ordered []int // entry indexes sorted by key
+	pos     int
+}
+
+func (c *mergeCursor) peek() (uint64, bool) {
+	if c.pos >= len(c.ordered) {
+		return 0, false
+	}
+	e := c.rr.entries[c.ordered[c.pos]]
+	return uint64(e.Collection)<<32 | uint64(e.Slot), true
+}
+
+// Merge combines all partial postings lists into the single monolithic
+// merged.post file — the paper's optional post-processing step, priced
+// at <10% of build time (§III.F). The merge streams: run tables are
+// walked in parallel in key order, each term's partial lists are read
+// with one positioned read per run, concatenated, re-encoded and
+// appended to the output, so peak memory is O(runs × one list) plus
+// the O(terms) tables — never the whole index. The file and its
+// versioned sidecar are written atomically; on success this reader
+// switches to serving lookups from the merged file.
+func (r *IndexReader) Merge() (*MergeStats, error) {
+	r.mergeMu.Lock()
+	defer r.mergeMu.Unlock()
+	if err := r.checkClosed(); err != nil {
+		return nil, err
+	}
+
+	// Source runs in ascending doc order, so same-key partial lists
+	// concatenate into globally sorted postings.
+	metas := append([]RunMeta(nil), r.runs...)
+	sort.SliceStable(metas, func(i, j int) bool { return metas[i].FirstDoc < metas[j].FirstDoc })
+	cursors := make([]*mergeCursor, 0, len(metas))
+	nLists := 0
+	for _, rm := range metas {
+		rr, err := r.runFile(rm)
+		if err != nil {
+			return nil, err
+		}
+		ordered := make([]int, len(rr.entries))
+		for i := range ordered {
+			ordered[i] = i
+		}
+		sort.Slice(ordered, func(a, b int) bool {
+			ea, eb := rr.entries[ordered[a]], rr.entries[ordered[b]]
+			if ea.Collection != eb.Collection {
+				return ea.Collection < eb.Collection
+			}
+			return ea.Slot < eb.Slot
+		})
+		cursors = append(cursors, &mergeCursor{rr: rr, ordered: ordered})
+		nLists += len(rr.entries)
+	}
+	// Distinct merged keys, known before any blob is read: the table
+	// region can be sized and reserved up front.
+	keys := make([]uint64, 0, nLists)
+	for _, c := range cursors {
+		for _, i := range c.ordered {
+			e := c.rr.entries[i]
+			keys = append(keys, uint64(e.Collection)<<32|uint64(e.Slot))
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys = dedupeSorted(keys)
+
+	tmpPath := filepath.Join(r.dir, mergedFileName+".tmp")
+	f, err := os.Create(tmpPath)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if f != nil {
+			f.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+
+	// Reserve header + table, stream the blob behind them, then patch
+	// the table and CRC once every offset is known.
+	tableSize := len(keys) * entrySize
+	if _, err := f.Write(make([]byte, runHdrSize+tableSize)); err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+
+	var (
+		entries  = make([]RunEntry, 0, len(keys))
+		scratch  []byte
+		blobOff  uint64
+		first    = ^uint32(0)
+		last     uint32
+		acc      postings.List
+		partBlob []byte
+	)
+	for _, key := range keys {
+		coll, slot := uint32(key>>32), uint32(key)
+		acc = postings.List{}
+		count := uint32(0)
+		flags := uint32(0)
+		for _, c := range cursors {
+			k, ok := c.peek()
+			if !ok || k != key {
+				continue
+			}
+			e := c.rr.entries[c.ordered[c.pos]]
+			c.pos++
+			partBlob, err = c.rr.readBlob(e)
+			if err != nil {
+				return nil, r.readErr(c.rr.name, err)
+			}
+			r.listBytes.Add(uint64(e.Length))
+			part, err := decodeEntry(partBlob, e)
+			if err != nil {
+				return nil, fmt.Errorf("store: %s: %w", c.rr.name, err)
+			}
+			if err := postings.Concat(&acc, part); err != nil {
+				return nil, fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
+			}
+		}
+		if acc.Len() == 0 {
+			continue
+		}
+		if acc.Positional() {
+			flags = FlagPositional
+			scratch, err = encoding.EncodePositionalPostings(scratch[:0], acc.DocIDs, acc.TFs, acc.Positions)
+		} else {
+			scratch, err = encoding.EncodePostings(scratch[:0], acc.DocIDs, acc.TFs)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
+		}
+		if _, err := bw.Write(scratch); err != nil {
+			return nil, err
+		}
+		count = uint32(acc.Len())
+		entries = append(entries, RunEntry{
+			Collection: coll,
+			Slot:       slot,
+			Offset:     blobOff,
+			Length:     uint32(len(scratch)),
+			Count:      count,
+			Flags:      flags,
+		})
+		blobOff += uint64(len(scratch))
+		if acc.DocIDs[0] < first {
+			first = acc.DocIDs[0]
+		}
+		if acc.DocIDs[acc.Len()-1] > last {
+			last = acc.DocIDs[acc.Len()-1]
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	if first == ^uint32(0) {
+		first = 0
+	}
+
+	// Patch the header and table in place. Empty keys (present in some
+	// run table but holding zero postings) never occur — AddList skips
+	// empty lists — so len(entries) == len(keys); assert anyway and
+	// shrink the reservation if a key produced nothing.
+	if len(entries) != len(keys) {
+		if err := f.Truncate(0); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("store: merge produced %d lists for %d keys", len(entries), len(keys))
+	}
+	hdrTable := make([]byte, runHdrSize+tableSize)
+	binary.LittleEndian.PutUint32(hdrTable[0:], runMagic)
+	binary.LittleEndian.PutUint32(hdrTable[4:], runVersion)
+	binary.LittleEndian.PutUint32(hdrTable[8:], uint32(len(entries)))
+	binary.LittleEndian.PutUint32(hdrTable[12:], first)
+	binary.LittleEndian.PutUint32(hdrTable[16:], last)
+	// CRC patched below once the table bytes are final.
+	for i, e := range entries {
+		off := runHdrSize + i*entrySize
+		binary.LittleEndian.PutUint32(hdrTable[off:], e.Collection)
+		binary.LittleEndian.PutUint32(hdrTable[off+4:], e.Slot)
+		binary.LittleEndian.PutUint64(hdrTable[off+8:], e.Offset)
+		binary.LittleEndian.PutUint32(hdrTable[off+16:], e.Length)
+		binary.LittleEndian.PutUint32(hdrTable[off+20:], e.Count)
+		binary.LittleEndian.PutUint32(hdrTable[off+24:], e.Flags)
+	}
+	if _, err := f.WriteAt(hdrTable, 0); err != nil {
+		return nil, err
+	}
+	size := int64(len(hdrTable)) + int64(blobOff)
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, io.NewSectionReader(f, runHdrSize, size-runHdrSize)); err != nil {
+		return nil, err
+	}
+	var crcBytes [4]byte
+	binary.LittleEndian.PutUint32(crcBytes[:], crc.Sum32())
+	if _, err := f.WriteAt(crcBytes[:], 20); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		f = nil
+		os.Remove(tmpPath)
+		return nil, err
+	}
+	f = nil // disarm the cleanup defer
+	finalPath := filepath.Join(r.dir, mergedFileName)
+	if err := os.Rename(tmpPath, finalPath); err != nil {
+		os.Remove(tmpPath)
+		return nil, err
+	}
+	sc := mergedSidecar{
+		Version:  mergedSidecarVersion,
+		File:     mergedFileName,
+		Size:     size,
+		CRC32:    crc.Sum32(),
+		Lists:    len(entries),
+		FirstDoc: first,
+		LastDoc:  last,
+		Runs:     len(metas),
+	}
+	if err := writeSidecar(r.dir, sc); err != nil {
+		return nil, err
+	}
+	syncDir(r.dir)
+
+	// Switch this reader onto the merged path so subsequent lookups go
+	// through it; a fresh OpenIndex picks it up via the sidecar.
+	stats := &MergeStats{
+		Lists:    len(entries),
+		Bytes:    size,
+		FirstDoc: first,
+		LastDoc:  last,
+		Runs:     len(metas),
+	}
+	m, err := loadMerged(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: reloading merged file: %w", err)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		if m != nil {
+			m.rr.close()
+		}
+		return nil, ErrClosed
+	}
+	old := r.merged
+	r.merged, r.mergedErr = m, nil
+	r.mu.Unlock()
+	if old != nil {
+		old.rr.close()
+	}
+	return stats, nil
+}
+
+// writeSidecar atomically persists merged.json.
+func writeSidecar(dir string, sc mergedSidecar) error {
+	data, err := json.MarshalIndent(sc, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, mergedSidecarName+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, mergedSidecarName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames survive a crash; best-effort
+// (some filesystems reject directory fsync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck
+	d.Close()
+}
+
+// dedupeSorted removes adjacent duplicates in place.
+func dedupeSorted(keys []uint64) []uint64 {
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != keys[i-1] {
+			out = append(out, k)
+		}
+	}
+	return out
+}

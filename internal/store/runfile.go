@@ -16,7 +16,9 @@ import (
 
 // Run-file layout (little-endian):
 //
-//	magic  u32  'FIRN'
+//	magic  u32  "FRIN" (bytes 4e 49 52 46 on disk — a historic
+//	            transposition of the intended 'FIRN'; the golden test
+//	            pins these exact bytes, so the constant is the format)
 //	ver    u32
 //	nLists u32
 //	first  u32  first global docID covered by this run

@@ -283,14 +283,40 @@ func TestIndexWriterReaderEndToEnd(t *testing.T) {
 		t.Errorf("unknown term: %v len=%d", err, empty.Len())
 	}
 
-	// Merge produces a single list with all four postings.
-	merged, err := r.Merge()
+	// Merge produces a single list with all four postings and switches
+	// the reader onto the merged path.
+	stats, err := r.Merge()
 	if err != nil {
 		t.Fatal(err)
 	}
-	docIDs, tfs, ok, err := merged.List(int(termColl), 4)
-	if err != nil || !ok || len(docIDs) != 4 || tfs[3] != 3 {
-		t.Fatalf("merged list = %v/%v ok=%v err=%v", docIDs, tfs, ok, err)
+	if stats.Lists != 1 || stats.Runs != 2 || stats.FirstDoc != 1 || stats.LastDoc != 19 {
+		t.Fatalf("merge stats = %+v", stats)
+	}
+	if !r.MergedActive() {
+		t.Fatal("reader did not activate merged file after Merge")
+	}
+	ml, err := r.Postings("zebra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Len() != 4 || ml.TFs[3] != 3 {
+		t.Fatalf("merged postings = %v/%v", ml.DocIDs, ml.TFs)
+	}
+	if got := r.Stats(); got.MergedHits == 0 {
+		t.Fatalf("merged lookup not counted: %+v", got)
+	}
+	// A fresh reader trusts the sidecar and serves merged immediately.
+	r2, err := OpenIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if !r2.MergedActive() {
+		t.Fatal("fresh reader did not pick up merged sidecar")
+	}
+	l2, err := r2.PostingsRange("zebra", 10, 19)
+	if err != nil || l2.Len() != 2 || l2.DocIDs[0] != 12 {
+		t.Fatalf("merged range postings = %v err=%v", l2, err)
 	}
 }
 

@@ -2,37 +2,50 @@ package store
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 )
 
 // VerifyReport summarizes an index integrity check.
 type VerifyReport struct {
-	Runs          int
-	Lists         int
-	Postings      int64
-	Terms         int
-	Docs          int // from the doc table, 0 when absent
-	HasDocLens    bool
-	HasDocTable   bool
+	Runs        int
+	Lists       int
+	Postings    int64
+	Terms       int
+	Docs        int // from the doc table, 0 when absent
+	HasDocLens  bool
+	HasDocTable bool
+	// MergedPresent reports a merged file that is recorded by its
+	// sidecar AND passed validation (size, CRC, table order). A torn or
+	// tampered merged file fails Verify with ErrCorruptIndex instead.
 	MergedPresent bool
+	MergedLists   int // lists in the validated merged file, 0 when absent
 }
 
 // Verify checks the structural integrity of a built index directory:
-// every run file parses, every partial list decodes with strictly
-// ascending docIDs inside the run's declared doc range, run doc ranges
-// are disjoint and ascending, every dictionary entry's (collection,
-// slot) appears in at least one run (unless it only occurred in runs
-// that were discarded — impossible for engine-built indexes), the
-// dictionary is canonically ordered, and the optional doc-length/
-// doc-table files are consistent with each other.
+// every run file parses with a valid checksum, every partial list
+// decodes with strictly ascending docIDs inside the run's declared doc
+// range, run doc ranges are disjoint and ascending, every dictionary
+// entry's (collection, slot) appears in at least one run (unless it
+// only occurred in runs that were discarded — impossible for
+// engine-built indexes), the dictionary is canonically ordered, and
+// the optional doc-length/doc-table files are consistent with each
+// other. When a merged sidecar exists the merged file must validate
+// and agree with the runs: same keys, same per-key posting counts,
+// sorted lists.
 func Verify(dir string) (*VerifyReport, error) {
 	rep := &VerifyReport{}
 	r, err := OpenIndex(dir)
 	if err != nil {
 		return nil, err
 	}
+	defer r.Close()
 	rep.Terms = r.Terms()
+
+	// A sidecar that exists but whose merged file fails validation is
+	// corruption, even though the reader itself degrades to per-run
+	// assembly.
+	if err := r.MergedErr(); err != nil {
+		return rep, err
+	}
 
 	// Dictionary order and uniqueness.
 	for i := 1; i < len(r.dict); i++ {
@@ -47,23 +60,28 @@ func Verify(dir string) (*VerifyReport, error) {
 		known[uint64(uint32(e.Collection))<<32|uint64(uint32(e.Slot))] = true
 	}
 
-	seen := make(map[uint64]bool, len(r.dict))
+	counts := make(map[uint64]int64, len(r.dict)) // per-key postings across runs
 	var prevLast uint32
 	for i, rm := range r.runs {
 		if i > 0 && rm.FirstDoc <= prevLast && !(rm.FirstDoc == 0 && prevLast == 0) {
 			return rep, fmt.Errorf("store: run %s doc range overlaps previous", rm.File)
 		}
 		prevLast = rm.LastDoc
-		run, err := r.run(rm)
+		rr, err := r.runFile(rm)
 		if err != nil {
 			return rep, err
 		}
 		rep.Runs++
-		for _, e := range run.Entries {
-			docIDs, _, ok, err := run.List(int(e.Collection), int32(e.Slot))
-			if err != nil || !ok {
+		for _, e := range rr.entries {
+			blob, err := rr.readBlob(e)
+			if err != nil {
+				return rep, r.readErr(rm.File, err)
+			}
+			l, err := decodeEntry(blob, e)
+			if err != nil {
 				return rep, fmt.Errorf("store: %s list (%d,%d): %v", rm.File, e.Collection, e.Slot, err)
 			}
+			docIDs := l.DocIDs
 			for j, d := range docIDs {
 				if j > 0 && d <= docIDs[j-1] {
 					return rep, fmt.Errorf("store: %s list (%d,%d) unsorted", rm.File, e.Collection, e.Slot)
@@ -75,20 +93,55 @@ func Verify(dir string) (*VerifyReport, error) {
 			}
 			rep.Lists++
 			rep.Postings += int64(len(docIDs))
-			seen[uint64(e.Collection)<<32|uint64(e.Slot)] = true
+			counts[uint64(e.Collection)<<32|uint64(e.Slot)] += int64(len(docIDs))
 		}
 	}
 	for key := range known {
-		if !seen[key] {
+		if counts[key] == 0 {
 			return rep, fmt.Errorf("store: dictionary slot (%d,%d) has no postings in any run",
 				uint32(key>>32), uint32(key))
 		}
 	}
-	for key := range seen {
+	for key := range counts {
 		if !known[key] {
 			return rep, fmt.Errorf("store: postings for unknown slot (%d,%d)",
 				uint32(key>>32), uint32(key))
 		}
+	}
+
+	// Merged file: already size/CRC/order-validated at open; check it
+	// agrees with the runs list for list.
+	if r.MergedActive() {
+		r.mu.Lock()
+		m := r.merged
+		r.mu.Unlock()
+		if len(m.rr.entries) != len(counts) {
+			return rep, fmt.Errorf("store: merged file has %d lists, runs have %d keys: %w",
+				len(m.rr.entries), len(counts), ErrCorruptIndex)
+		}
+		for _, e := range m.rr.entries {
+			key := uint64(e.Collection)<<32 | uint64(e.Slot)
+			if counts[key] != int64(e.Count) {
+				return rep, fmt.Errorf("store: merged list (%d,%d) has %d postings, runs have %d: %w",
+					e.Collection, e.Slot, e.Count, counts[key], ErrCorruptIndex)
+			}
+			blob, err := m.rr.readBlob(e)
+			if err != nil {
+				return rep, r.readErr(m.rr.name, err)
+			}
+			l, err := decodeEntry(blob, e)
+			if err != nil {
+				return rep, fmt.Errorf("store: merged list (%d,%d): %v", e.Collection, e.Slot, err)
+			}
+			for j := 1; j < len(l.DocIDs); j++ {
+				if l.DocIDs[j] <= l.DocIDs[j-1] {
+					return rep, fmt.Errorf("store: merged list (%d,%d) unsorted: %w",
+						e.Collection, e.Slot, ErrCorruptIndex)
+				}
+			}
+		}
+		rep.MergedPresent = true
+		rep.MergedLists = len(m.rr.entries)
 	}
 
 	// Optional files.
@@ -98,9 +151,6 @@ func Verify(dir string) (*VerifyReport, error) {
 	if rep.HasDocLens && rep.HasDocTable && len(r.docLens) != len(r.docLocs) {
 		return rep, fmt.Errorf("store: doclens (%d) and doctable (%d) disagree",
 			len(r.docLens), len(r.docLocs))
-	}
-	if _, err := os.Stat(filepath.Join(dir, "merged.post")); err == nil {
-		rep.MergedPresent = true
 	}
 	return rep, nil
 }

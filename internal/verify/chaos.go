@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"fastinvert/internal/core"
@@ -65,6 +66,16 @@ const (
 	// FaultGarbageDocmap overwrites docmap.json with invalid JSON
 	// after a clean build.
 	FaultGarbageDocmap
+
+	// FaultTruncateMerged merges the index after a clean build, then
+	// truncates merged.post (the torn state a crashed non-atomic write
+	// would leave). Verify must flag it AND queries must fall back to
+	// correct per-run assembly.
+	FaultTruncateMerged
+
+	// FaultBitFlipMerged merges, then flips one bit inside merged.post's
+	// CRC-covered region; same requirements as FaultTruncateMerged.
+	FaultBitFlipMerged
 )
 
 // String names the fault for reports.
@@ -92,6 +103,10 @@ func (f Fault) String() string {
 		return "truncate-dict"
 	case FaultGarbageDocmap:
 		return "garbage-docmap"
+	case FaultTruncateMerged:
+		return "truncate-merged"
+	case FaultBitFlipMerged:
+		return "bitflip-merged"
 	}
 	return fmt.Sprintf("fault(%d)", int(f))
 }
@@ -224,7 +239,11 @@ func RunChaos(ctx context.Context, cfg Config, chaos ChaosConfig) (*ChaosResult,
 		if err := injectCorruption(outDir, chaos); err != nil {
 			return nil, err
 		}
-		res.Err = auditIndex(outDir, cfg, src.Source)
+		if chaos.Fault == FaultTruncateMerged || chaos.Fault == FaultBitFlipMerged {
+			res.Err = auditMergedFallback(outDir, cfg, src.Source)
+		} else {
+			res.Err = auditIndex(outDir, cfg, src.Source)
+		}
 		res.Correct = res.Err == nil
 	}
 	res.TypedError = res.Err != nil &&
@@ -278,9 +297,77 @@ func settleGoroutines(before int) int {
 	}
 }
 
+// auditMergedFallback audits a corrupt-merged-file fault: the
+// corruption must be detected by Verify as a typed error, the reopened
+// reader must refuse to serve the merged file, and per-run fallback
+// queries must still match the reference build exactly. Any deviation
+// returns an untyped error, failing the chaos invariant.
+func auditMergedFallback(outDir string, cfg Config, src corpus.Source) error {
+	if _, err := store.Verify(outDir); !errors.Is(err, store.ErrCorruptIndex) {
+		return fmt.Errorf("verify: corrupt merged file not flagged (got %v)", err)
+	}
+	idx, err := store.OpenIndex(outDir)
+	if err != nil {
+		return fmt.Errorf("verify: reopen with corrupt merged file: %w", err)
+	}
+	active := idx.MergedActive()
+	idx.Close()
+	if active {
+		return errors.New("verify: corrupt merged file still served")
+	}
+	got, err := readBack(outDir)
+	if err != nil {
+		return fmt.Errorf("verify: fallback read-back: %w", err)
+	}
+	var ref *reference.Index
+	if cfg.Positional {
+		ref, err = reference.BuildPositionalFromSource(src)
+	} else {
+		ref, err = reference.BuildFromSource(src)
+	}
+	if err != nil {
+		return fmt.Errorf("verify: reference build: %w", err)
+	}
+	if rep := DiffLists("merged-fallback", got, ref.Lists, 4); !rep.OK() {
+		return fmt.Errorf("verify: fallback results differ: %s", rep)
+	}
+	return nil
+}
+
+// mergeIndexDir merges an index directory through a throwaway reader.
+func mergeIndexDir(dir string) error {
+	idx, err := store.OpenIndex(dir)
+	if err != nil {
+		return err
+	}
+	defer idx.Close()
+	_, err = idx.Merge()
+	return err
+}
+
 // injectCorruption damages the persisted index per the fault kind.
 func injectCorruption(dir string, chaos ChaosConfig) error {
 	switch chaos.Fault {
+	case FaultTruncateMerged, FaultBitFlipMerged:
+		if err := mergeIndexDir(dir); err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "merged.post")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if chaos.Fault == FaultTruncateMerged {
+			return os.WriteFile(path, data[:len(data)/2], 0o644)
+		}
+		const runHdr = 24
+		if len(data) <= runHdr {
+			return fmt.Errorf("verify: merged file too small to corrupt")
+		}
+		rng := rand.New(rand.NewSource(chaos.Seed ^ 0x5EED5EED))
+		bit := runHdr*8 + rng.Intn((len(data)-runHdr)*8)
+		data[bit/8] ^= 1 << (bit % 8)
+		return os.WriteFile(path, data, 0o644)
 	case FaultTruncateRun, FaultBitFlipRun:
 		name, err := firstRunFile(dir)
 		if err != nil {
@@ -327,7 +414,8 @@ func firstRunFile(dir string) (string, error) {
 	}
 	var runs []string
 	for _, e := range entries {
-		if !e.IsDir() && filepath.Ext(e.Name()) == ".post" {
+		// Match only per-run files — never merged.post.
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "run-") && filepath.Ext(e.Name()) == ".post" {
 			runs = append(runs, e.Name())
 		}
 	}

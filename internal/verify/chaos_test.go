@@ -31,6 +31,9 @@ func TestChaosFaultMatrix(t *testing.T) {
 		{Fault: FaultBitFlipRun, Seed: 12},
 		{Fault: FaultTruncateDict},
 		{Fault: FaultGarbageDocmap},
+		{Fault: FaultTruncateMerged},
+		{Fault: FaultBitFlipMerged, Seed: 11},
+		{Fault: FaultBitFlipMerged, Seed: 12},
 	}
 	for _, chaos := range cases {
 		chaos := chaos
@@ -60,6 +63,12 @@ func TestChaosFaultMatrix(t *testing.T) {
 			case FaultNone, FaultSlowRead:
 				if !res.Correct {
 					t.Errorf("benign fault must yield a correct index, got err=%v", res.Err)
+				}
+			case FaultTruncateMerged, FaultBitFlipMerged:
+				// The dedicated audit demands detection AND correct
+				// fallback; success means both held.
+				if !res.Correct {
+					t.Errorf("corrupt merged file must degrade gracefully, got err=%v", res.Err)
 				}
 			}
 		})

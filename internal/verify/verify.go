@@ -188,7 +188,58 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.Comparisons = append(res.Comparisons, cmp)
 	}
+
+	// Merged-path parity: run the post-processing merge, re-verify the
+	// structure (which now validates the merged file against the runs),
+	// then re-read every term through the merged file and demand it
+	// matches the per-run assembly read above.
+	mcmp := Comparison{Name: "merged"}
+	mergedLists, err := mergeAndReadBack(outDir)
+	mcmp.Err = err
+	if err == nil {
+		mcmp.Diff = DiffLists("merged", mergedLists, pipeline, cfg.MaxDiffs)
+	}
+	res.Comparisons = append(res.Comparisons, mcmp)
 	return res, nil
+}
+
+// mergeAndReadBack merges the index, checks the merged file is both
+// structurally valid and actually served, and reads every term back
+// through it.
+func mergeAndReadBack(dir string) (map[string]*postings.List, error) {
+	idx, err := store.OpenIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := idx.Merge(); err != nil {
+		idx.Close()
+		return nil, fmt.Errorf("verify: merge: %w", err)
+	}
+	idx.Close()
+	if _, err := store.Verify(dir); err != nil {
+		return nil, fmt.Errorf("verify: post-merge structural check: %w", err)
+	}
+	idx2, err := store.OpenIndex(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer idx2.Close()
+	if !idx2.MergedActive() {
+		return nil, fmt.Errorf("verify: merged file written but not served")
+	}
+	out := make(map[string]*postings.List, idx2.Terms())
+	for _, e := range idx2.Dictionary() {
+		l, err := idx2.Postings(e.Term)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", e.Term, err)
+		}
+		out[e.Term] = l
+	}
+	st := idx2.Stats()
+	if st.MergedHits == 0 || st.RunFallbacks != 0 {
+		return nil, fmt.Errorf("verify: merged read-back used the fallback path (%+v)", st)
+	}
+	return out, nil
 }
 
 // buildPipeline runs the concurrent executor over src into outDir.
