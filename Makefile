@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check lint smoke bench fuzz differential experiments merge-bench tools clean
+.PHONY: all build test race check lint smoke bench bench-smoke microbench fuzz differential experiments merge-bench tools clean
 
 all: build test
 
@@ -47,8 +47,21 @@ check: lint
 	$(GO) test -race ./...
 	$(MAKE) smoke
 
-# One pass over every table/figure/ablation benchmark with metrics.
+# Build hot-path benchmark suite (tokenizer, parser, IndexRun,
+# end-to-end build, merge): full-scale corpus, JSON to stdout. Redirect
+# to BENCH_PR5.json (with -baseline for deltas) to refresh the
+# committed reference.
 bench:
+	$(GO) run ./cmd/benchrunner -buildbench -benchout -
+
+# CI-sized buildbench gated against the committed reference: fails when
+# quick-mode end-to-end throughput drops more than 20%.
+bench-smoke:
+	$(GO) run ./cmd/benchrunner -buildbench -quick \
+		-benchout bench-smoke.json -compare BENCH_PR5.json
+
+# One pass over every go-test microbenchmark with allocation metrics.
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzzing pass over every byte-level decoder.

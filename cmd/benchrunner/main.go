@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime/pprof"
 
 	"fastinvert/internal/experiments"
 )
@@ -35,8 +36,24 @@ func main() {
 		trials     = flag.Int("trials", 2, "trials per configuration (best kept)")
 		jsonOut    = flag.String("json", "", "write BENCH_*.json stage-level benchmark (throughput + per-stage breakdowns) to this file (\"-\" = stdout)")
 		mergebench = flag.Bool("mergebench", false, "compare query latency before/after the post-processing merge")
+		buildbench = flag.Bool("buildbench", false, "run the build hot-path benchmark suite (tokenizer, parser, IndexRun, end-to-end build, merge)")
+		quick      = flag.Bool("quick", false, "buildbench: CI-sized corpus (seconds instead of minutes)")
+		benchOut   = flag.String("benchout", "-", "buildbench: write the JSON document to this file (\"-\" = stdout)")
+		baseline   = flag.String("baseline", "", "buildbench: embed this previous BENCH_*.json as the baseline and compute deltas")
+		compare    = flag.String("compare", "", "buildbench: gate against this committed BENCH_*.json (fails when end-to-end throughput drops > -tolerance)")
+		tolerance  = flag.Float64("tolerance", 0.2, "buildbench -compare: allowed end-to-end throughput drop fraction")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	s := experiments.Scale{Files: *files, Factor: *scale}
 	experiments.Trials = *trials
 	w := os.Stdout
@@ -156,6 +173,32 @@ func main() {
 		check(err)
 		experiments.FprintMergeBench(w, r)
 		fmt.Fprintln(w)
+	}
+	if *buildbench {
+		ran = true
+		doc, err := experiments.BuildBenchRun(*quick)
+		check(err)
+		if *baseline != "" {
+			prev, err := experiments.ReadBuildBenchDoc(*baseline)
+			check(err)
+			doc.EmbedBaseline(prev)
+		}
+		out := os.Stdout
+		if *benchOut != "-" {
+			f, err := os.Create(*benchOut)
+			check(err)
+			check(experiments.WriteBuildBenchDoc(f, doc))
+			check(f.Close())
+			fmt.Printf("build benchmark written to %s\n", *benchOut)
+		} else {
+			check(experiments.WriteBuildBenchDoc(out, doc))
+		}
+		if *compare != "" {
+			committed, err := experiments.ReadBuildBenchDoc(*compare)
+			check(err)
+			check(experiments.CompareBuildBench(committed, doc, *tolerance))
+			fmt.Printf("bench gate OK: within %.0f%% of %s\n", *tolerance*100, *compare)
+		}
 	}
 	if *jsonOut != "" {
 		ran = true

@@ -20,6 +20,8 @@
 //	-metrics FILE      Prometheus text snapshot of the build metrics ("-" = stdout)
 //	-trace FILE        JSONL build trace: per-stage spans (busy + derived stalls),
 //	                   buffer-occupancy samples, per-collection token skew
+//	-cpuprofile FILE   pprof CPU profile covering the build (and merge, if any)
+//	-memprofile FILE   pprof allocation profile written at exit
 package main
 
 import (
@@ -27,6 +29,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -56,9 +60,22 @@ func main() {
 		progress   = flag.Bool("progress", false, "print a live progress ticker while building")
 		metricsOut = flag.String("metrics", "", "write a Prometheus metrics snapshot to this file (\"-\" = stdout)")
 		traceOut   = flag.String("trace", "", "write a JSONL build trace to this file")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof allocation profile to this file")
 		verbose    = flag.Bool("v", false, "print the per-file throughput series")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var src fastinvert.Source
 	var err error
@@ -183,6 +200,21 @@ func main() {
 		for i, f := range rep.PerFile {
 			fmt.Printf("  %4d %-40s %8.2f\n", i, f.Name, f.ThroughputMBps)
 		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // settle live heap so the profile reflects retained + total allocs
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			log.Fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		fmt.Printf("allocation profile written to %s\n", *memProf)
 	}
 }
 

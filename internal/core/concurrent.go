@@ -46,6 +46,8 @@ type parsedFile struct {
 	stored   int
 	plain    int
 	err      error
+
+	scr *fileScratch // recyclable backing for offsets/byteLens
 }
 
 // BuildConcurrent runs the full pipeline with goroutine parallelism.
@@ -219,6 +221,7 @@ func (e *Engine) BuildConcurrentContext(ctx context.Context, src corpus.Source) 
 		if err := e.postProcessBlock(&pf, docBase, src.FileName(pf.f), rep, writer); err != nil {
 			return nil, fail(err)
 		}
+		e.releaseParsed(&pf)
 		docBase += uint32(pf.docs)
 		items = append(items, pf.item)
 		next++
@@ -268,19 +271,23 @@ func (e *Engine) parseOne(psr *parser.Parser, f int, stored []byte, gz bool, rea
 	pf.plain = len(plain)
 
 	t = time.Now()
-	blk := parser.NewBlock(f % e.cfg.Parsers)
-	docs, offsets := corpus.SplitDocsOffsets(plain)
+	blk := e.blocks.Get(f % e.cfg.Parsers)
+	scr := e.scratch.Get().(*fileScratch)
+	scr.docs, scr.offsets = corpus.SplitDocsOffsetsAppend(plain, scr.docs[:0], scr.offsets[:0])
+	docs := scr.docs
 	for d, doc := range docs {
 		psr.ParseDoc(uint32(d), doc, blk)
 	}
 	pf.item.ParseSec = e.measure(t)
 	pf.blk = blk
 	pf.docs = len(docs)
-	pf.offsets = offsets
-	pf.byteLens = make([]int, len(docs))
-	for d, doc := range docs {
-		pf.byteLens[d] = len(doc)
+	pf.offsets = scr.offsets
+	scr.byteLens = scr.byteLens[:0]
+	for _, doc := range docs {
+		scr.byteLens = append(scr.byteLens, len(doc))
 	}
+	pf.byteLens = scr.byteLens
+	pf.scr = scr
 	e.obs.span(telemetry.StageParse, f%e.cfg.Parsers, f, tSpan,
 		int64(len(plain)), int64(blk.Tokens), int64(len(docs)))
 	if err := e.cfg.Hooks.afterParse(f); err != nil {
@@ -339,24 +346,53 @@ func (e *Engine) indexBlockConcurrent(blk *parser.Block, file int, docBase uint3
 }
 
 // splitShares partitions a block's groups by indexer owner in
-// deterministic collection order.
+// deterministic collection order. The returned slices are engine-owned
+// scratch, valid until the next splitShares call: both executors call
+// it from the (serial) sequencing loop and wait for every indexer to
+// finish the block before moving on.
 func (e *Engine) splitShares(blk *parser.Block) (cpuShares, gpuShares [][]*parser.Group) {
-	cpuShares = make([][]*parser.Group, e.cfg.CPUIndexers)
-	gpuShares = make([][]*parser.Group, e.cfg.GPUs)
-	idxs := make([]int, 0, len(blk.Groups))
-	for gi := range blk.Groups {
-		idxs = append(idxs, gi)
+	s := &e.shares
+	if len(s.cpu) != e.cfg.CPUIndexers {
+		s.cpu = make([][]*parser.Group, e.cfg.CPUIndexers)
 	}
-	sort.Ints(idxs)
-	for _, gi := range idxs {
+	if len(s.gpu) != e.cfg.GPUs {
+		s.gpu = make([][]*parser.Group, e.cfg.GPUs)
+	}
+	for i := range s.cpu {
+		s.cpu[i] = s.cpu[i][:0]
+	}
+	for j := range s.gpu {
+		s.gpu[j] = s.gpu[j][:0]
+	}
+	s.idxs = s.idxs[:0]
+	for gi := range blk.Groups {
+		s.idxs = append(s.idxs, gi)
+	}
+	sort.Ints(s.idxs)
+	for _, gi := range s.idxs {
 		kind, owner := e.assign.Owner(gi)
 		if kind == sampling.KindCPU {
-			cpuShares[owner] = append(cpuShares[owner], blk.Groups[gi])
+			s.cpu[owner] = append(s.cpu[owner], blk.Groups[gi])
 		} else {
-			gpuShares[owner] = append(gpuShares[owner], blk.Groups[gi])
+			s.gpu[owner] = append(s.gpu[owner], blk.Groups[gi])
 		}
 	}
-	return cpuShares, gpuShares
+	return s.cpu, s.gpu
+}
+
+// releaseParsed returns a fully post-processed file's block and scratch
+// to their pools. Error paths skip it — a leaked buffer just falls back
+// to the GC.
+func (e *Engine) releaseParsed(pf *parsedFile) {
+	e.blocks.Put(pf.blk)
+	pf.blk = nil
+	if pf.scr != nil {
+		scr := pf.scr
+		pf.scr = nil
+		pf.offsets = nil
+		pf.byteLens = nil
+		e.scratch.Put(scr)
+	}
 }
 
 // postProcessBlock runs the serialized per-run post-processing:

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"fastinvert/internal/corpus"
@@ -31,10 +32,37 @@ type Engine struct {
 	docFiles []string // container-file names, one per processed file
 	docLocs  []store.DocLocation
 
+	// Buffer recycling (the paper's fixed pipeline buffers, Fig. 8):
+	// blocks and per-file scratch circulate between the parser stage and
+	// the sequencer instead of being reallocated per container file, and
+	// the share partitions are engine-owned because the sequencer is the
+	// only caller of splitShares and waits for every indexer before the
+	// next block.
+	blocks  *parser.BlockPool
+	scratch sync.Pool // *fileScratch
+	shares  shareScratch
+
 	// Telemetry state for the current build (observe.go): the nil-safe
 	// observer seam and the per-trie-collection token accumulator.
 	obs        spanObserver
 	collTokens map[int]int64
+}
+
+// fileScratch is the recyclable per-file parser-stage scratch: the doc
+// split and the offset/length columns that postProcessBlock copies into
+// the document-location table. It travels inside parsedFile and returns
+// to the pool via releaseParsed.
+type fileScratch struct {
+	docs     [][]byte
+	offsets  []int
+	byteLens []int
+}
+
+// shareScratch holds splitShares' reusable output slices.
+type shareScratch struct {
+	cpu  [][]*parser.Group
+	gpu  [][]*parser.Group
+	idxs []int
 }
 
 // New validates the configuration and allocates the indexers.
@@ -45,7 +73,8 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.CPUThroughputScale <= 0 {
 		cfg.CPUThroughputScale = 1
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, blocks: parser.NewBlockPool()}
+	e.scratch.New = func() any { return &fileScratch{} }
 	for i := 0; i < cfg.CPUIndexers; i++ {
 		ix := cpuindexer.New()
 		ix.NoCache = cfg.NoCacheDictionary
@@ -173,6 +202,7 @@ func (e *Engine) BuildContext(ctx context.Context, src corpus.Source) (*Report, 
 		if err := e.postProcessBlock(&pf, docBase, src.FileName(f), rep, writer); err != nil {
 			return nil, err
 		}
+		e.releaseParsed(&pf)
 		docBase += uint32(pf.docs)
 		items = append(items, pf.item)
 		if e.cfg.Progress != nil {
@@ -230,34 +260,42 @@ func (e *Engine) flushRun(rb *store.RunBuilder) error {
 }
 
 // collectDictionary walks every indexer's dictionaries into one sorted
-// entry list with full terms restored from the trie prefixes.
+// entry list with full terms restored from the trie prefixes. The
+// entry slice is pre-sized from the indexer term counters and prefix
+// restoration reuses one scratch buffer, so the combine step costs one
+// allocation per term (the entry's string) plus the slice itself.
 func (e *Engine) collectDictionary() []store.DictEntry {
-	var dict []store.DictEntry
-	walk := func(coll int, fn func(func(stripped []byte, slot int32) bool)) {
-		fn(func(stripped []byte, slot int32) bool {
-			dict = append(dict, store.DictEntry{
-				Term:       string(trie.Restore(coll, stripped)),
-				Collection: int32(coll),
-				Slot:       slot,
-			})
-			return true
+	terms := int64(0)
+	for _, ix := range e.cpuIxs {
+		terms += ix.Stats().NewTerms
+	}
+	for _, ix := range e.gpuIxs {
+		terms += ix.Stats().NewTerms
+	}
+	dict := make([]store.DictEntry, 0, terms)
+	var scratch []byte
+	appendEntry := func(coll int, stripped []byte, slot int32) {
+		scratch = trie.RestoreAppend(coll, scratch[:0], stripped)
+		dict = append(dict, store.DictEntry{
+			Term:       string(scratch),
+			Collection: int32(coll),
+			Slot:       slot,
 		})
 	}
 	for _, ix := range e.cpuIxs {
 		for _, coll := range ix.Collections() {
 			coll := coll
-			walk(coll, func(fn func([]byte, int32) bool) { ix.WalkDictionary(coll, fn) })
+			ix.WalkDictionary(coll, func(stripped []byte, slot int32) bool {
+				appendEntry(coll, stripped, slot)
+				return true
+			})
 		}
 	}
 	for _, ix := range e.gpuIxs {
 		// Bulk export: one arena snapshot per device (the paper's
 		// final dictionary move to host memory).
 		ix.ExportDictionary(func(coll int, stripped []byte, slot int32) bool {
-			dict = append(dict, store.DictEntry{
-				Term:       string(trie.Restore(coll, stripped)),
-				Collection: int32(coll),
-				Slot:       slot,
-			})
+			appendEntry(coll, stripped, slot)
 			return true
 		})
 	}
@@ -290,7 +328,7 @@ func (e *Engine) ParseOnly(src corpus.Source) (*Report, error) {
 		}
 		rep.UncompressedBytes += int64(len(plain))
 		t = time.Now()
-		blk := parser.NewBlock(f % e.cfg.Parsers)
+		blk := e.blocks.Get(f % e.cfg.Parsers)
 		docs := corpus.SplitDocs(plain)
 		for d, doc := range docs {
 			p.ParseDoc(uint32(d), doc, blk)
@@ -298,6 +336,7 @@ func (e *Engine) ParseOnly(src corpus.Source) (*Report, error) {
 		item.ParseSec = e.measure(t)
 		rep.Docs += int64(len(docs))
 		rep.Tokens += int64(blk.Tokens)
+		e.blocks.Put(blk)
 		items = append(items, item)
 	}
 	res := pipesim.Simulate(pipesim.Config{

@@ -25,6 +25,13 @@ func SplitDocs(raw []byte) [][]byte {
 // location on disk" recorded by the parser's Step 1 doc table
 // (§III.C).
 func SplitDocsOffsets(raw []byte) (docs [][]byte, offsets []int) {
+	return SplitDocsOffsetsAppend(raw, nil, nil)
+}
+
+// SplitDocsOffsetsAppend is SplitDocsOffsets appending into caller
+// buffers, so the pipeline's per-file scratch can be recycled instead
+// of reallocated (pass docs[:0], offsets[:0] to reuse capacity).
+func SplitDocsOffsetsAppend(raw []byte, docs [][]byte, offsets []int) ([][]byte, []int) {
 	delim := []byte(DocDelim)
 	pos := 0
 	for pos <= len(raw) {

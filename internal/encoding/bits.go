@@ -25,19 +25,55 @@ func (w *BitWriter) WriteBit(bit uint) {
 }
 
 // WriteBits appends the low n bits of v, most-significant-first.
-// n must be <= 64.
+// n must be <= 64. Bits are moved a byte at a time: each iteration
+// fills the current partial byte (or emits a whole one), so the cost
+// is O(n/8) rather than O(n).
 func (w *BitWriter) WriteBits(v uint64, n uint) {
-	for i := int(n) - 1; i >= 0; i-- {
-		w.WriteBit(uint(v >> uint(i) & 1))
+	for n > 0 {
+		take := 8 - w.nbit
+		if take > n {
+			take = n
+		}
+		chunk := byte(v>>(n-take)) & byte(1<<take-1)
+		w.cur = w.cur<<take | chunk
+		w.nbit += take
+		n -= take
+		if w.nbit == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nbit = 0, 0
+		}
 	}
 }
 
 // WriteUnary appends v in unary: v one-bits followed by a zero bit.
+// Runs of ones are emitted as whole 0xff bytes once the writer is
+// byte-aligned, so long unary codes cost O(v/8) appends.
 func (w *BitWriter) WriteUnary(v uint64) {
-	for i := uint64(0); i < v; i++ {
-		w.WriteBit(1)
+	// Top up the current partial byte first.
+	if w.nbit > 0 {
+		take := 8 - w.nbit
+		if uint64(take) > v {
+			take = uint(v)
+		}
+		w.cur = w.cur<<take | byte(1<<take-1)
+		w.nbit += take
+		v -= uint64(take)
+		if w.nbit == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nbit = 0, 0
+		}
 	}
-	w.WriteBit(0)
+	for v >= 8 {
+		w.buf = append(w.buf, 0xff)
+		v -= 8
+	}
+	// Remaining ones (< 8) plus the terminating zero bit.
+	w.cur = w.cur<<(v+1) | byte(1<<v-1)<<1
+	w.nbit += uint(v) + 1
+	if w.nbit == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nbit = 0, 0
+	}
 }
 
 // Bytes flushes any partial byte (padding with zero bits) and returns

@@ -47,6 +47,91 @@ func TestUnaryRoundTrip(t *testing.T) {
 	}
 }
 
+// bitAtATimeWrite is the pre-optimization reference implementation:
+// every bit through WriteBit. The byte-at-a-time WriteBits/WriteUnary
+// must produce identical bytes for any interleaving.
+func bitAtATimeWrite(ops []bitOp) []byte {
+	w := NewBitWriter(nil)
+	for _, op := range ops {
+		if op.unary {
+			for i := uint64(0); i < op.v; i++ {
+				w.WriteBit(1)
+			}
+			w.WriteBit(0)
+		} else {
+			for i := int(op.n) - 1; i >= 0; i-- {
+				w.WriteBit(uint(op.v >> uint(i) & 1))
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+type bitOp struct {
+	unary bool
+	v     uint64
+	n     uint
+}
+
+func TestByteAtATimeMatchesBitAtATime(t *testing.T) {
+	f := func(seed []uint64) bool {
+		ops := make([]bitOp, 0, len(seed))
+		for i, s := range seed {
+			if i%2 == 0 {
+				ops = append(ops, bitOp{unary: true, v: s % 131})
+			} else {
+				ops = append(ops, bitOp{v: s, n: uint(s%64) + 1})
+			}
+		}
+		w := NewBitWriter(nil)
+		for _, op := range ops {
+			if op.unary {
+				w.WriteUnary(op.v)
+			} else {
+				w.WriteBits(op.v&(1<<op.n-1), op.n)
+			}
+		}
+		got := w.Bytes()
+		want := bitAtATimeWrite(ops)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewBitWriter(make([]byte, 0, 1<<16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.buf = w.buf[:0]
+		w.cur, w.nbit = 0, 0
+		for j := 0; j < 1024; j++ {
+			w.WriteBits(uint64(j)*2654435761, uint(j%33)+1)
+		}
+	}
+}
+
+func BenchmarkWriteUnary(b *testing.B) {
+	w := NewBitWriter(make([]byte, 0, 1<<16))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.buf = w.buf[:0]
+		w.cur, w.nbit = 0, 0
+		for j := 0; j < 1024; j++ {
+			w.WriteUnary(uint64(j % 97))
+		}
+	}
+}
+
 func TestBitReaderExhaustion(t *testing.T) {
 	r := NewBitReader([]byte{0xff})
 	if _, ok := r.ReadBits(9); ok {

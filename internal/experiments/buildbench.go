@@ -1,0 +1,364 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"fastinvert/internal/core"
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/cpuindexer"
+	"fastinvert/internal/parser"
+	"fastinvert/internal/store"
+)
+
+// The build benchmark ("benchrunner -buildbench") is the perf gate for
+// the construction hot path: it measures ns/op, allocs/op and MB/s for
+// the tokenizer, the parser, the CPU indexer inner loop, the
+// end-to-end pipelined build and the post-processing merge, and emits
+// the machine-readable BENCH_PR5.json document that CI compares
+// against. Micro numbers use testing.Benchmark so the methodology is
+// identical to `go test -bench`.
+
+// BuildBenchMetric is one benchmark's result.
+type BuildBenchMetric struct {
+	N               int     `json:"n"`
+	NsPerOp         int64   `json:"ns_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	AllocBytesPerOp int64   `json:"alloc_bytes_per_op"`
+	MBPerSec        float64 `json:"mb_per_s,omitempty"`
+}
+
+func metricOf(r testing.BenchmarkResult) BuildBenchMetric {
+	m := BuildBenchMetric{
+		N:               r.N,
+		NsPerOp:         r.NsPerOp(),
+		AllocsPerOp:     r.AllocsPerOp(),
+		AllocBytesPerOp: r.AllocedBytesPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		m.MBPerSec = float64(r.Bytes) * float64(r.N) / r.T.Seconds() / (1 << 20)
+	}
+	return m
+}
+
+// BuildBenchDoc is the top-level BENCH_PR5.json document. Benchmarks
+// holds the run's own numbers; Baseline carries the pre-optimization
+// reference the deltas are computed against (recorded once, then kept
+// in the committed file); QuickReference is the quick-mode end-to-end
+// number CI's bench-smoke job compares a fresh quick run against.
+type BuildBenchDoc struct {
+	Mode            string                      `json:"mode"` // "full" or "quick"
+	Files           int                         `json:"files"`
+	ScaleFactor     float64                     `json:"scale_factor"`
+	GOMAXPROCS      int                         `json:"gomaxprocs"`
+	GoVersion       string                      `json:"go_version"`
+	Benchmarks      map[string]BuildBenchMetric `json:"benchmarks"`
+	QuickReference  *BuildBenchMetric           `json:"quick_reference,omitempty"`
+	Baseline        map[string]BuildBenchMetric `json:"baseline,omitempty"`
+	DeltaVsBaseline map[string]string           `json:"delta_vs_baseline,omitempty"`
+}
+
+// buildBenchScale picks the corpus sizes: quick mode is CI-friendly
+// (seconds), full mode is the committed reference.
+func buildBenchScale(quick bool) Scale {
+	if quick {
+		return Scale{Files: 2, Factor: 0.25}
+	}
+	return Scale{Files: 8, Factor: 0.5}
+}
+
+// benchCorpus freezes one generated container file so the micro
+// benchmarks run over fixed bytes with no generation cost in the loop.
+func benchCorpus(s Scale) (plain []byte, docs [][]byte) {
+	gen := corpus.NewGenerator(corpus.ClueWeb09(s.Factor))
+	plain = gen.GeneratePlain(0)
+	docs = corpus.SplitDocs(plain)
+	return plain, docs
+}
+
+// frozenSource serves pre-materialized stored bytes, keeping corpus
+// generation out of the measured end-to-end build.
+type frozenSource struct {
+	names []string
+	files [][]byte
+	gz    bool
+}
+
+func freezeSource(src corpus.Source) (*frozenSource, error) {
+	fs := &frozenSource{}
+	for i := 0; i < src.NumFiles(); i++ {
+		stored, gz, err := src.ReadFile(i)
+		if err != nil {
+			return nil, err
+		}
+		fs.names = append(fs.names, src.FileName(i))
+		fs.files = append(fs.files, stored)
+		fs.gz = gz
+	}
+	return fs, nil
+}
+
+func (s *frozenSource) NumFiles() int         { return len(s.files) }
+func (s *frozenSource) FileName(i int) string { return s.names[i] }
+func (s *frozenSource) ReadFile(i int) ([]byte, bool, error) {
+	if i < 0 || i >= len(s.files) {
+		return nil, false, fmt.Errorf("frozen source: file %d out of range", i)
+	}
+	return s.files[i], s.gz, nil
+}
+
+func benchTokenizer(plain []byte) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(plain)))
+		b.ReportAllocs()
+		var tok parser.Tokenizer
+		for i := 0; i < b.N; i++ {
+			off := 0
+			for {
+				_, next, ok := tok.Next(plain, off)
+				if !ok {
+					break
+				}
+				off = next
+			}
+		}
+	})
+}
+
+func benchParser(plain []byte, docs [][]byte) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(plain)))
+		b.ReportAllocs()
+		p := parser.New(nil)
+		pool := parser.NewBlockPool()
+		for i := 0; i < b.N; i++ {
+			blk := pool.Get(0)
+			for d, doc := range docs {
+				p.ParseDoc(uint32(d), doc, blk)
+			}
+			pool.Put(blk)
+		}
+	})
+}
+
+func benchIndexRun(plain []byte, docs [][]byte) testing.BenchmarkResult {
+	p := parser.New(nil)
+	blk := parser.NewBlock(0)
+	for d, doc := range docs {
+		p.ParseDoc(uint32(d), doc, blk)
+	}
+	groups := make([]*parser.Group, 0, len(blk.Groups))
+	for _, g := range blk.Groups {
+		groups = append(groups, g)
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(plain)))
+		b.ReportAllocs()
+		ix := cpuindexer.New()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.IndexRun(groups, 0); err != nil {
+				b.Fatal(err)
+			}
+			ix.ResetRunPostings()
+		}
+	})
+}
+
+func benchBuildE2E(src corpus.Source, tmpParent string) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dir := filepath.Join(tmpParent, fmt.Sprintf("e2e%d", i))
+			cfg := EngineConfig(6, 2, 2)
+			cfg.OutDir = dir
+			eng, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := eng.BuildConcurrent(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(rep.UncompressedBytes)
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+}
+
+func benchMerge(src corpus.Source, tmpParent string) (testing.BenchmarkResult, error) {
+	dir := filepath.Join(tmpParent, "mergesrc")
+	cfg := EngineConfig(6, 2, 2)
+	cfg.OutDir = dir
+	eng, err := core.New(cfg)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	if _, err := eng.BuildConcurrent(src); err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			os.Remove(filepath.Join(dir, "merged.post"))
+			os.Remove(filepath.Join(dir, "merged.json"))
+			r, err := store.OpenIndexWith(dir, store.ReaderOptions{CacheBytes: 1})
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			b.StartTimer()
+			ms, err := r.Merge()
+			b.StopTimer()
+			r.Close()
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			b.SetBytes(ms.Bytes)
+			b.StartTimer()
+		}
+	})
+	return res, benchErr
+}
+
+// BuildBenchRun executes the build benchmark suite. In full mode it
+// additionally runs a quick-mode end-to-end pass whose number becomes
+// the committed QuickReference that CI gates against.
+func BuildBenchRun(quick bool) (*BuildBenchDoc, error) {
+	s := buildBenchScale(quick)
+	doc := &BuildBenchDoc{
+		Mode:        "full",
+		Files:       s.Files,
+		ScaleFactor: s.Factor,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Benchmarks:  map[string]BuildBenchMetric{},
+	}
+	if quick {
+		doc.Mode = "quick"
+	}
+
+	plain, docs := benchCorpus(s)
+	doc.Benchmarks["tokenizer"] = metricOf(benchTokenizer(plain))
+	doc.Benchmarks["parser"] = metricOf(benchParser(plain, docs))
+	doc.Benchmarks["index_run"] = metricOf(benchIndexRun(plain, docs))
+
+	tmpParent, err := os.MkdirTemp("", "buildbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmpParent)
+
+	src, err := freezeSource(ClueWebSource(s))
+	if err != nil {
+		return nil, err
+	}
+	doc.Benchmarks["build_e2e"] = metricOf(benchBuildE2E(src, tmpParent))
+	mr, err := benchMerge(src, tmpParent)
+	if err != nil {
+		return nil, err
+	}
+	doc.Benchmarks["merge"] = metricOf(mr)
+
+	if !quick {
+		qs := buildBenchScale(true)
+		qsrc, err := freezeSource(ClueWebSource(qs))
+		if err != nil {
+			return nil, err
+		}
+		qm := metricOf(benchBuildE2E(qsrc, tmpParent))
+		doc.QuickReference = &qm
+	}
+	return doc, nil
+}
+
+// EmbedBaseline copies a previous run's benchmarks into doc.Baseline
+// and computes the per-benchmark deltas. The previous run may itself
+// carry a baseline (re-running the suite keeps the original pre-PR
+// reference rather than resetting it).
+func (doc *BuildBenchDoc) EmbedBaseline(prev *BuildBenchDoc) {
+	base := prev.Benchmarks
+	if len(prev.Baseline) > 0 {
+		base = prev.Baseline
+	}
+	doc.Baseline = base
+	doc.DeltaVsBaseline = map[string]string{}
+	for name, cur := range doc.Benchmarks {
+		b, ok := base[name]
+		if !ok {
+			continue
+		}
+		var allocs, mbps string
+		if b.AllocsPerOp > 0 {
+			allocs = fmt.Sprintf("allocs %+.1f%%",
+				100*(float64(cur.AllocsPerOp)-float64(b.AllocsPerOp))/float64(b.AllocsPerOp))
+		}
+		if b.MBPerSec > 0 && cur.MBPerSec > 0 {
+			mbps = fmt.Sprintf("throughput %+.1f%%", 100*(cur.MBPerSec-b.MBPerSec)/b.MBPerSec)
+		}
+		switch {
+		case allocs != "" && mbps != "":
+			doc.DeltaVsBaseline[name] = allocs + ", " + mbps
+		case allocs != "":
+			doc.DeltaVsBaseline[name] = allocs
+		case mbps != "":
+			doc.DeltaVsBaseline[name] = mbps
+		}
+	}
+}
+
+// ReadBuildBenchDoc loads a committed BENCH_*.json document.
+func ReadBuildBenchDoc(path string) (*BuildBenchDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc BuildBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("buildbench: %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// WriteBuildBenchDoc writes the document as indented JSON.
+func WriteBuildBenchDoc(w io.Writer, doc *BuildBenchDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// CompareBuildBench gates a fresh quick run against the committed
+// document's quick reference: it returns an error when end-to-end
+// build throughput dropped by more than tolerance (e.g. 0.2 = 20%).
+// Used by CI's bench-smoke job to make hot-path regressions visible on
+// every PR.
+func CompareBuildBench(committed *BuildBenchDoc, current *BuildBenchDoc, tolerance float64) error {
+	ref := committed.QuickReference
+	if ref == nil {
+		if m, ok := committed.Benchmarks["build_e2e"]; ok && committed.Mode == "quick" {
+			ref = &m
+		}
+	}
+	if ref == nil || ref.MBPerSec <= 0 {
+		return fmt.Errorf("buildbench: committed document carries no quick end-to-end reference")
+	}
+	cur, ok := current.Benchmarks["build_e2e"]
+	if !ok || cur.MBPerSec <= 0 {
+		return fmt.Errorf("buildbench: current run carries no end-to-end result")
+	}
+	floor := ref.MBPerSec * (1 - tolerance)
+	if cur.MBPerSec < floor {
+		return fmt.Errorf("buildbench: end-to-end build throughput %.2f MB/s is below %.2f MB/s (committed %.2f MB/s - %.0f%%)",
+			cur.MBPerSec, floor, ref.MBPerSec, tolerance*100)
+	}
+	return nil
+}

@@ -18,6 +18,15 @@ type Block struct {
 	Shared   []byte // per-block shared memory, zeroed at block start
 
 	ctr blockCounters
+
+	// Cost-model scratch, reused across charges. A Block is owned by a
+	// single SM goroutine, so plain fields need no synchronization;
+	// recycling them keeps the simulated-hardware accounting off the
+	// allocator's hot path (it runs once per modeled half-warp access).
+	bankCounts []int
+	minVals    []int32
+	minLanes   []int
+	minWords   []int
 }
 
 // Device returns the owning device (for configuration lookups).
@@ -81,7 +90,7 @@ func (b *Block) LoadShared(dst int, src Ptr, n int) {
 		panic(fmt.Sprintf("gpu: shared store [%d,%d) outside %d-byte shared memory",
 			dst, dst+n, len(b.Shared)))
 	}
-	copy(b.Shared[dst:dst+n], b.dev.mem[src:int64(src)+int64(n)])
+	b.dev.read(src, b.Shared[dst:dst+n])
 	b.chargeGlobal(b.transactions(src, n), n)
 }
 
@@ -92,7 +101,7 @@ func (b *Block) StoreGlobal(dst Ptr, src int, n int) {
 	if src < 0 || src+n > len(b.Shared) {
 		panic("gpu: shared load out of range")
 	}
-	copy(b.dev.mem[dst:int64(dst)+int64(n)], b.Shared[src:src+n])
+	b.dev.write(dst, b.Shared[src:src+n])
 	b.chargeGlobal(b.transactions(dst, n), n)
 }
 
@@ -104,7 +113,7 @@ func (b *Block) StoreGlobal(dst Ptr, src int, n int) {
 func (b *Block) GlobalReadScattered(dst []byte, src Ptr) {
 	n := len(dst)
 	b.dev.checkRange(src, n)
-	copy(dst, b.dev.mem[src:int64(src)+int64(n)])
+	b.dev.read(src, dst)
 	// Each 4-byte element from a distinct segment: charge one
 	// transaction per element group of 4 bytes.
 	txns := int64((n + 3) / 4)
@@ -134,7 +143,7 @@ func (b *Block) ChargeScatteredRead(n int) {
 func (b *Block) GlobalWriteScattered(dst Ptr, src []byte) {
 	n := len(src)
 	b.dev.checkRange(dst, n)
-	copy(b.dev.mem[dst:int64(dst)+int64(n)], src)
+	b.dev.write(dst, src)
 	txns := int64((n + 3) / 4)
 	b.chargeGlobal(txns, n)
 }
@@ -162,24 +171,40 @@ func (b *Block) ChargeSharedAccess(laneWords []int) int {
 	if half == 0 {
 		half = len(laneWords)
 	}
+	if cap(b.bankCounts) < banks {
+		b.bankCounts = make([]int, banks)
+	}
+	counts := b.bankCounts[:banks]
 	worst := 1
 	for start := 0; start < len(laneWords); start += half {
 		end := start + half
 		if end > len(laneWords) {
 			end = len(laneWords)
 		}
-		bankAddrs := make(map[int]map[int]struct{}, banks)
-		for _, w := range laneWords[start:end] {
-			bank := w % banks
-			if bankAddrs[bank] == nil {
-				bankAddrs[bank] = make(map[int]struct{})
-			}
-			bankAddrs[bank][w] = struct{}{}
+		seg := laneWords[start:end]
+		for i := range counts {
+			counts[i] = 0
 		}
+		// Count distinct addresses per bank: a repeated address within
+		// the half-warp broadcasts (counted once), distinct addresses on
+		// the same bank serialize. Segments are half-warp sized, so the
+		// quadratic dedup scan beats any map-based set.
 		degree := 1
-		for _, addrs := range bankAddrs {
-			if len(addrs) > degree {
-				degree = len(addrs)
+		for i, w := range seg {
+			dup := false
+			for _, prev := range seg[:i] {
+				if prev == w {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			bank := w % banks
+			counts[bank]++
+			if counts[bank] > degree {
+				degree = counts[bank]
 			}
 		}
 		b.ctr.sharedAcc++
@@ -203,14 +228,19 @@ func (b *Block) ParallelMin(vals []int32) (min int32, lane int) {
 	if n == 0 {
 		return 0, -1
 	}
-	v := make([]int32, n)
-	l := make([]int, n)
+	if cap(b.minVals) < n {
+		b.minVals = make([]int32, n)
+		b.minLanes = make([]int, n)
+		b.minWords = make([]int, n/2+1)
+	}
+	v := b.minVals[:n]
+	l := b.minLanes[:n]
 	copy(v, vals)
 	for i := range l {
 		l[i] = i
 	}
 	for stride := n / 2; stride > 0; stride /= 2 {
-		words := make([]int, 0, stride)
+		words := b.minWords[:0]
 		for i := 0; i < stride; i++ {
 			if v[i+stride] < v[i] {
 				v[i] = v[i+stride]

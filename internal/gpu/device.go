@@ -12,10 +12,10 @@ type Ptr int64
 // Nil is the null device pointer.
 const Nil Ptr = -1
 
-// Device is one simulated GPU: a fixed-size device memory, bump
+// Device is one simulated GPU: a fixed-size device address space, bump
 // allocators, and transfer/launch entry points.
 //
-// Device memory is allocated in full at creation and never moves, so
+// The address space is fixed at creation and addresses never move, so
 // kernels may call Malloc/MallocTransient concurrently with other
 // blocks' memory traffic — exactly like device-side allocation on real
 // hardware. Persistent allocations (Malloc) grow from the bottom;
@@ -23,15 +23,96 @@ const Nil Ptr = -1
 // are released wholesale by FreeTransients, mirroring the paper's
 // per-run cudaMalloc/cudaFree of input and output regions while the
 // dictionary stays resident.
+//
+// Backing storage is chunked and lazily materialized: a 4 GiB device
+// costs only the chunks actually touched, so creating a device (one
+// per simulated GPU per engine) never zeroes gigabytes up front. A
+// chunk pointer is published atomically exactly once; never-touched
+// chunks read as zeros without being allocated.
 type Device struct {
 	cfg Config
 
-	mem []byte
+	size    int64 // address-space bytes (cfg.DeviceMemBytes)
+	chunks  []atomic.Pointer[memChunk]
+	chunkMu sync.Mutex // serializes chunk materialization
+
 	mu  sync.Mutex
 	brk int64 // bottom break (persistent)
-	top int64 // top break (transient); allocations live in [top, len)
+	top int64 // top break (transient); allocations live in [top, size)
 
 	stats DeviceStats
+}
+
+// chunkShift sizes the lazy backing chunks (4 MiB): large enough that
+// streaming copies cross few boundaries, small enough that a tiny
+// working set stays tiny.
+const chunkShift = 22
+
+const chunkSize = 1 << chunkShift
+
+type memChunk [chunkSize]byte
+
+// chunk returns chunk i, materializing it (zeroed) on first touch.
+func (d *Device) chunk(i int64) *memChunk {
+	if c := d.chunks[i].Load(); c != nil {
+		return c
+	}
+	d.chunkMu.Lock()
+	defer d.chunkMu.Unlock()
+	if c := d.chunks[i].Load(); c != nil {
+		return c
+	}
+	c := new(memChunk)
+	d.chunks[i].Store(c)
+	return c
+}
+
+// read copies device bytes [p, p+len(dst)) into dst. Untouched chunks
+// read as zeros without being materialized.
+func (d *Device) read(p Ptr, dst []byte) {
+	off := int64(p)
+	for len(dst) > 0 {
+		ci, co := off>>chunkShift, off&(chunkSize-1)
+		n := chunkSize - co
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		if c := d.chunks[ci].Load(); c != nil {
+			copy(dst[:n], c[co:co+n])
+		} else {
+			clear(dst[:n])
+		}
+		dst = dst[n:]
+		off += n
+	}
+}
+
+// write copies src into device memory at p.
+func (d *Device) write(p Ptr, src []byte) {
+	off := int64(p)
+	for len(src) > 0 {
+		ci, co := off>>chunkShift, off&(chunkSize-1)
+		n := copy(d.chunk(ci)[co:], src)
+		src = src[n:]
+		off += int64(n)
+	}
+}
+
+// zeroRange clears [p, p+n); chunks never materialized are already
+// zero and stay unmaterialized.
+func (d *Device) zeroRange(p Ptr, n int64) {
+	off, end := int64(p), int64(p)+n
+	for off < end {
+		ci, co := off>>chunkShift, off&(chunkSize-1)
+		m := chunkSize - co
+		if m > end-off {
+			m = end - off
+		}
+		if c := d.chunks[ci].Load(); c != nil {
+			clear(c[co : co+m])
+		}
+		off += m
+	}
 }
 
 // DeviceStats aggregates simulated activity over the device lifetime.
@@ -55,8 +136,9 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{cfg: cfg}
-	d.mem = make([]byte, cfg.DeviceMemBytes)
-	d.top = int64(len(d.mem))
+	d.size = int64(cfg.DeviceMemBytes)
+	d.chunks = make([]atomic.Pointer[memChunk], (d.size+chunkSize-1)>>chunkShift)
+	d.top = d.size
 	return d, nil
 }
 
@@ -83,7 +165,7 @@ func (d *Device) Malloc(n int) Ptr {
 	defer d.mu.Unlock()
 	if d.brk+int64(n) > d.top {
 		panic(fmt.Sprintf("gpu: out of device memory (%d persistent + %d requested, %d transient, %d total)",
-			d.brk, n, int64(len(d.mem))-d.top, len(d.mem)))
+			d.brk, n, d.size-d.top, d.size))
 	}
 	p := d.brk
 	d.brk += int64(n)
@@ -102,9 +184,7 @@ func (d *Device) MallocTransient(n int) Ptr {
 		panic(fmt.Sprintf("gpu: out of device memory for %d-byte transient", n))
 	}
 	d.top -= int64(n)
-	for i := d.top; i < d.top+int64(n); i++ {
-		d.mem[i] = 0
-	}
+	d.zeroRange(Ptr(d.top), int64(n))
 	return Ptr(d.top)
 }
 
@@ -112,18 +192,22 @@ func (d *Device) MallocTransient(n int) Ptr {
 func (d *Device) FreeTransients() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.top = int64(len(d.mem))
+	d.top = d.size
 }
 
-// Reset releases all allocations, persistent and transient.
+// Reset releases all allocations, persistent and transient. The
+// backing chunks are dropped wholesale — the next touches start from
+// fresh zeroed chunks.
 func (d *Device) Reset() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for i := int64(0); i < d.brk; i++ {
-		d.mem[i] = 0
+	d.chunkMu.Lock()
+	for i := range d.chunks {
+		d.chunks[i].Store(nil)
 	}
+	d.chunkMu.Unlock()
 	d.brk = 0
-	d.top = int64(len(d.mem))
+	d.top = d.size
 }
 
 // Allocated reports the persistent allocation break.
@@ -137,14 +221,14 @@ func (d *Device) Allocated() int64 {
 func (d *Device) TransientBytes() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return int64(len(d.mem)) - d.top
+	return d.size - d.top
 }
 
 // CopyHtoD copies host bytes into device memory and accounts the PCIe
 // transfer time. It returns the simulated seconds the copy took.
 func (d *Device) CopyHtoD(dst Ptr, src []byte) float64 {
 	d.checkRange(dst, len(src))
-	copy(d.mem[dst:int(dst)+len(src)], src)
+	d.write(dst, src)
 	sec := d.cfg.PCIeLatencySec + float64(len(src))/d.cfg.PCIeBytesPerSec
 	d.mu.Lock()
 	d.stats.HtoDBytes += int64(len(src))
@@ -157,7 +241,7 @@ func (d *Device) CopyHtoD(dst Ptr, src []byte) float64 {
 // seconds.
 func (d *Device) CopyDtoH(dst []byte, src Ptr) float64 {
 	d.checkRange(src, len(dst))
-	copy(dst, d.mem[src:int(src)+len(dst)])
+	d.read(src, dst)
 	sec := d.cfg.PCIeLatencySec + float64(len(dst))/d.cfg.PCIeBytesPerSec
 	d.mu.Lock()
 	d.stats.DtoHBytes += int64(len(dst))
@@ -177,8 +261,8 @@ func (d *Device) Stats() DeviceStats {
 // are the full memory: allocation discipline is the allocator's job,
 // while this guards against wild pointers.
 func (d *Device) checkRange(p Ptr, n int) {
-	if p < 0 || n < 0 || int64(p)+int64(n) > int64(len(d.mem)) {
-		panic(fmt.Sprintf("gpu: access [%d,%d) outside %d-byte device memory", p, int64(p)+int64(n), len(d.mem)))
+	if p < 0 || n < 0 || int64(p)+int64(n) > d.size {
+		panic(fmt.Sprintf("gpu: access [%d,%d) outside %d-byte device memory", p, int64(p)+int64(n), d.size))
 	}
 }
 
@@ -225,7 +309,16 @@ func (d *Device) Launch(nBlocks int, kernel func(b *Block)) LaunchStats {
 					panicked.CompareAndSwap(nil, r)
 				}
 			}()
+			// One Block per SM goroutine, re-armed per block index:
+			// kernels may not retain it past their return, so reusing
+			// it (and its cost-model scratch) across the SM's blocks
+			// is safe and keeps the launch loop allocation-free.
 			shared := make([]byte, d.cfg.SharedMemPerBlock)
+			b := &Block{
+				dev:    d,
+				Dim:    d.cfg.WarpSize,
+				Shared: shared,
+			}
 			for {
 				bi := int(atomic.AddInt64(&next, 1))
 				if bi >= nBlocks || panicked.Load() != nil {
@@ -234,12 +327,8 @@ func (d *Device) Launch(nBlocks int, kernel func(b *Block)) LaunchStats {
 				for i := range shared {
 					shared[i] = 0
 				}
-				b := &Block{
-					dev:      d,
-					BlockIdx: bi,
-					Dim:      d.cfg.WarpSize,
-					Shared:   shared,
-				}
+				b.BlockIdx = bi
+				b.ctr = blockCounters{}
 				kernel(b)
 				smCycles[sm] += b.ctr.cycles
 				blockStats[sm].add(&b.ctr)

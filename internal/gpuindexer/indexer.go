@@ -105,6 +105,18 @@ type Indexer struct {
 	collections map[int]*collection
 	stores      map[int]*postings.Store
 
+	// ctxs recycles kernel contexts across launches: one is checked out
+	// per thread block and returned when the block retires, so steady-
+	// state launches allocate nothing per block.
+	ctxs sync.Pool
+
+	// Per-run scratch reused across IndexRun calls (the engine drives
+	// each indexer from a single goroutine, so no locking is needed).
+	work   []groupWork
+	packed []byte
+	recs   []byte
+	seen   map[int]bool
+
 	stats Stats
 }
 
@@ -250,20 +262,24 @@ func (ix *Indexer) IndexRun(groups []*parser.Group, docBase uint32) (RunStats, e
 	}
 	inPtr := ix.dev.MallocTransient(totalIn)
 	outPtr := ix.dev.MallocTransient(totalRecBytes)
-	work := make([]*groupWork, 0, len(groups))
+	if ix.seen == nil {
+		ix.seen = make(map[int]bool, len(groups))
+	} else {
+		clear(ix.seen)
+	}
+	ix.work = ix.work[:0]
+	ix.packed = ix.packed[:0]
 	inOff, recOff := 0, 0
-	packed := make([]byte, 0, totalIn)
-	seen := make(map[int]bool, len(groups))
 	for _, g := range groups {
-		if seen[g.Index] {
+		if ix.seen[g.Index] {
 			return rs, fmt.Errorf("gpuindexer: duplicate collection %d in run", g.Index)
 		}
-		seen[g.Index] = true
+		ix.seen[g.Index] = true
 		if ix.collections[g.Index] == nil {
 			ix.collections[g.Index] = &collection{root: -1}
 			ix.stores[g.Index] = postings.NewStore()
 		}
-		w := &groupWork{
+		w := groupWork{
 			coll:       g.Index,
 			streamPtr:  inPtr + gpu.Ptr(inOff),
 			streamLen:  len(g.Stream),
@@ -271,13 +287,14 @@ func (ix *Indexer) IndexRun(groups []*parser.Group, docBase uint32) (RunStats, e
 			records:    g.Tokens,
 			positional: g.Positional,
 		}
-		work = append(work, w)
-		packed = append(packed, g.Stream...)
+		ix.work = append(ix.work, w)
+		ix.packed = append(ix.packed, g.Stream...)
 		inOff += len(g.Stream)
 		recOff += g.Tokens * w.recSize()
 		rs.Tokens += int64(g.Tokens)
 		rs.Chars += int64(g.Chars)
 	}
+	work, packed := ix.work, ix.packed
 	rs.Groups = len(groups)
 	rs.InputBytes = totalIn
 	rs.PreSec = ix.dev.CopyHtoD(inPtr, packed)
@@ -290,22 +307,27 @@ func (ix *Indexer) IndexRun(groups []*parser.Group, docBase uint32) (RunStats, e
 		blocks = len(work)
 	}
 	rs.Launch = ix.dev.Launch(blocks, func(b *gpu.Block) {
-		k := newKernelCtx(ix, b, docBase)
+		k := ix.getKernelCtx(b, docBase)
+		defer ix.putKernelCtx(k)
 		for {
 			gi := int(atomic.AddInt64(&nextGroup, 1))
 			if gi >= len(work) {
 				return
 			}
-			k.processGroup(work[gi], &newTerms)
+			k.processGroup(&work[gi], &newTerms)
 		}
 	})
 	rs.KernelSec = rs.Launch.SimSeconds
 	rs.NewTerms = newTerms
 
 	// Post-processing: copy records back, aggregate into postings.
-	recs := make([]byte, totalRecBytes)
+	if cap(ix.recs) < totalRecBytes {
+		ix.recs = make([]byte, totalRecBytes)
+	}
+	recs := ix.recs[:totalRecBytes]
 	rs.PostSec = ix.dev.CopyDtoH(recs, outPtr)
-	for _, w := range work {
+	for i := range work {
+		w := &work[i]
 		base := int(w.outPtr - outPtr)
 		store := ix.stores[w.coll]
 		sz := w.recSize()
@@ -395,9 +417,12 @@ func (ix *Indexer) WalkDictionary(coll int, fn func(stripped []byte, slot int32)
 	ix.walkTree(c.root, readRest, fn)
 }
 
-// walkTree walks one device tree in key order.
+// walkTree walks one device tree in key order. The key slice passed to
+// fn is a shared scratch buffer, valid only for the duration of the
+// call.
 func (ix *Indexer) walkTree(root int32, readRest func(int32) []byte, fn func(key []byte, slot int32) bool) bool {
 	nodeBuf := make([]byte, btree.NodeSize)
+	key := make([]byte, 0, btree.MaxKeyLen)
 	var walk func(idx int32) bool
 	walk = func(idx int32) bool {
 		var n btree.Node
@@ -409,7 +434,7 @@ func (ix *Indexer) walkTree(root int32, readRest func(int32) []byte, fn func(key
 					return false
 				}
 			}
-			key := make([]byte, 0, 16)
+			key = key[:0]
 			for _, ch := range n.Cache[i] {
 				if ch == 0 {
 					break

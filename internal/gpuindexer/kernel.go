@@ -65,6 +65,31 @@ func newKernelCtx(ix *Indexer, b *gpu.Block, docBase uint32) *kernelCtx {
 	return k
 }
 
+// getKernelCtx checks a kernel context out of the indexer's pool,
+// re-armed for a new block, falling back to a fresh allocation.
+func (ix *Indexer) getKernelCtx(b *gpu.Block, docBase uint32) *kernelCtx {
+	v := ix.ctxs.Get()
+	if v == nil {
+		return newKernelCtx(ix, b, docBase)
+	}
+	k := v.(*kernelCtx)
+	k.b = b
+	k.docBase = docBase
+	k.term = k.term[:0]
+	k.stageN = 0
+	k.recSize = 0
+	k.outCursor = 0
+	k.cachedRoot = -1
+	k.rootDirty = false
+	return k
+}
+
+// putKernelCtx returns a retired block's context to the pool.
+func (ix *Indexer) putKernelCtx(k *kernelCtx) {
+	k.b = nil
+	ix.ctxs.Put(k)
+}
+
 // --- node image accessors over shared memory -------------------------
 
 func (k *kernelCtx) valid(base int) int32 { return k.b.SharedI32(base + btree.OffValidCount) }

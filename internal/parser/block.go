@@ -32,6 +32,17 @@ type Group struct {
 	hasAnyDoc bool
 }
 
+// reset clears the group for reuse, retaining the stream's capacity.
+func (g *Group) reset() {
+	g.Index = 0
+	g.Stream = g.Stream[:0]
+	g.Tokens = 0
+	g.Chars = 0
+	g.Positional = false
+	g.lastDoc = 0
+	g.hasAnyDoc = false
+}
+
 // append adds one stripped term occurrence for doc.
 func (g *Group) append(doc uint32, stripped []byte) {
 	if !g.hasAnyDoc || g.lastDoc != doc {
@@ -143,6 +154,11 @@ type Block struct {
 	DocTokens map[uint32]int
 
 	docCounted map[uint32]struct{}
+
+	// freeGroups recycles this block's Group structures (and their
+	// stream capacity) across Reset cycles, so a pooled block's steady
+	// state allocates nothing per file.
+	freeGroups []*Group
 }
 
 // NewBlock returns an empty block for the given parser.
@@ -170,10 +186,40 @@ func (b *Block) addPos(idx int, doc, pos uint32, stripped []byte) {
 func (b *Block) group(idx int) *Group {
 	g := b.Groups[idx]
 	if g == nil {
-		g = &Group{Index: idx, Positional: b.Positional}
+		if n := len(b.freeGroups); n > 0 {
+			g = b.freeGroups[n-1]
+			b.freeGroups[n-1] = nil
+			b.freeGroups = b.freeGroups[:n-1]
+			g.Index = idx
+			g.Positional = b.Positional
+		} else {
+			g = &Group{Index: idx, Positional: b.Positional}
+		}
 		b.Groups[idx] = g
 	}
 	return g
+}
+
+// Reset clears the block for reuse: all counters and maps are emptied,
+// and the groups (with their stream capacity) move to an internal free
+// list that the next parse draws from. The caller must be done with
+// every Group pointer and stream subslice taken from this block —
+// after Reset they will be overwritten by the next file's data.
+func (b *Block) Reset() {
+	for _, g := range b.Groups {
+		g.reset()
+		b.freeGroups = append(b.freeGroups, g)
+	}
+	clear(b.Groups)
+	clear(b.DocTokens)
+	clear(b.docCounted)
+	b.ParserID = 0
+	b.Seq = 0
+	b.DocBase = 0
+	b.NumDocs = 0
+	b.Tokens = 0
+	b.Bytes = 0
+	b.Positional = false
 }
 
 func (b *Block) docSeen(doc uint32) {

@@ -1,0 +1,44 @@
+package parser
+
+import "sync"
+
+// BlockPool recycles Blocks across pipeline files, mirroring the
+// paper's fixed per-parser buffers (Fig. 1/Fig. 8): instead of
+// GC-churning a fresh Block (with hundreds of per-collection Groups,
+// stream slices and doc maps) per container file, the executor gets a
+// block here before parsing and puts it back once the sequencer has
+// finished post-processing it.
+//
+// A BlockPool is safe for concurrent use: parser goroutines Get while
+// the sequencer Puts. The zero ownership rule is strict — after Put,
+// no Group pointer or stream subslice taken from the block may be
+// touched again (the allocation-budget tests under -race enforce
+// this).
+type BlockPool struct {
+	p sync.Pool
+}
+
+// NewBlockPool returns an empty pool.
+func NewBlockPool() *BlockPool {
+	bp := &BlockPool{}
+	bp.p.New = func() any { return NewBlock(0) }
+	return bp
+}
+
+// Get returns a clean block tagged with parserID. The block is either
+// recycled (retaining group and map capacity from earlier files) or
+// freshly allocated.
+func (bp *BlockPool) Get(parserID int) *Block {
+	b := bp.p.Get().(*Block)
+	b.ParserID = parserID
+	return b
+}
+
+// Put resets b and returns it to the pool. Put(nil) is a no-op.
+func (bp *BlockPool) Put(b *Block) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	bp.p.Put(b)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package parser
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// deliberately drops items in race mode, so allocation-budget
+// assertions that depend on pool hits are skipped.
+const raceEnabled = true

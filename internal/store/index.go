@@ -270,6 +270,11 @@ type ReaderOptions struct {
 	// CacheBytes is the decoded-postings cache budget. Zero selects the
 	// 32 MiB default; use 1 to effectively disable caching.
 	CacheBytes int64
+
+	// MergeWorkers bounds the number of concurrent shard workers Merge
+	// uses. Zero selects GOMAXPROCS; 1 forces a serial merge. The merged
+	// file bytes are identical for every worker count.
+	MergeWorkers int
 }
 
 // IndexReader opens a finished index directory for queries.
@@ -298,7 +303,8 @@ type IndexReader struct {
 
 	cache *listCache
 
-	mergeMu sync.Mutex // serializes Merge invocations
+	mergeMu      sync.Mutex // serializes Merge invocations
+	mergeWorkers int        // shard-worker bound for Merge (0 = GOMAXPROCS)
 
 	mu        sync.Mutex
 	closed    bool
@@ -359,16 +365,17 @@ func OpenIndexWith(dir string, opts ReaderOptions) (*IndexReader, error) {
 	}
 	merged, mergedErr := loadMerged(dir)
 	return &IndexReader{
-		dir:       dir,
-		dict:      dict,
-		runs:      runs,
-		docLens:   lens,
-		docFiles:  names,
-		docLocs:   locs,
-		cache:     newListCache(opts.CacheBytes),
-		runFiles:  make(map[string]*runSlot),
-		merged:    merged,
-		mergedErr: mergedErr,
+		dir:          dir,
+		dict:         dict,
+		runs:         runs,
+		docLens:      lens,
+		docFiles:     names,
+		docLocs:      locs,
+		cache:        newListCache(opts.CacheBytes),
+		mergeWorkers: opts.MergeWorkers,
+		runFiles:     make(map[string]*runSlot),
+		merged:       merged,
+		mergedErr:    mergedErr,
 	}, nil
 }
 

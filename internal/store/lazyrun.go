@@ -127,14 +127,31 @@ func (r *runReader) find(coll uint32, slot uint32) (RunEntry, bool) {
 // readBlob fetches one entry's compressed bytes with a single
 // positioned read.
 func (r *runReader) readBlob(e RunEntry) ([]byte, error) {
+	return r.readBlobInto(e, nil)
+}
+
+// readBlobInto is readBlob reusing buf's capacity when it suffices.
+// Positioned reads make it safe to call concurrently with distinct
+// buffers. The caller must be done with buf's previous contents.
+func (r *runReader) readBlobInto(e RunEntry, buf []byte) ([]byte, error) {
 	if e.Length == 0 {
 		return nil, nil
 	}
-	buf := make([]byte, e.Length)
+	if cap(buf) < int(e.Length) {
+		buf = make([]byte, e.Length)
+	}
+	buf = buf[:e.Length]
 	if _, err := r.f.ReadAt(buf, r.blobOff+int64(e.Offset)); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// readBlobRange fills buf with raw blob bytes starting at blob offset
+// off, for batched reads spanning several adjacent entries.
+func (r *runReader) readBlobRange(off uint64, buf []byte) error {
+	_, err := r.f.ReadAt(buf, r.blobOff+int64(off))
+	return err
 }
 
 func (r *runReader) close() error { return r.f.Close() }

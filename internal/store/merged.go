@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync/atomic"
 
@@ -153,30 +154,177 @@ type MergeStats struct {
 	Runs     int // source run files combined
 }
 
-// mergeCursor walks one run's entries in (collection, slot) order.
+// mergeCursor is one run's entries in (collection, slot) order. It is
+// read-only during the merge: each shard worker keeps its own position
+// per run, so the same cursors serve every shard concurrently.
 type mergeCursor struct {
 	rr      *runReader
 	ordered []int // entry indexes sorted by key
-	pos     int
 }
 
-func (c *mergeCursor) peek() (uint64, bool) {
-	if c.pos >= len(c.ordered) {
-		return 0, false
+// keyAt returns the merge key of the i-th entry in key order.
+func (c *mergeCursor) keyAt(i int) uint64 {
+	e := c.rr.entries[c.ordered[i]]
+	return uint64(e.Collection)<<32 | uint64(e.Slot)
+}
+
+// runSpan is one run's contiguous blob range covering a shard's keys,
+// read with a single positioned read. base is the blob offset of
+// buf[0]; entries slice into it by (Offset - base).
+type runSpan struct {
+	buf  []byte
+	base uint64
+}
+
+// shardResult is one shard's merged output: the encoded blob for the
+// shard's contiguous key range, table entries with offsets relative to
+// the shard blob (the writer rebases them), and the shard's doc range.
+type shardResult struct {
+	entries []RunEntry
+	blob    []byte
+	first   uint32
+	last    uint32
+	hasDocs bool
+	err     error
+}
+
+// mergeShard performs the k-way merge for one contiguous slice of the
+// global key list: for each key it reads the partial lists from every
+// run holding it (positioned reads are concurrency-safe), concatenates,
+// re-encodes and appends to the shard blob. keys must be non-empty.
+func (r *IndexReader) mergeShard(cursors []*mergeCursor, keys []uint64) shardResult {
+	res := shardResult{first: ^uint32(0)}
+	// Per-run position of the first entry at or past the shard's key
+	// range; from there each run is walked sequentially, exactly as the
+	// serial merge walked it across the whole key space.
+	pos := make([]int, len(cursors))
+	end := make([]int, len(cursors))
+	spans := make([]runSpan, len(cursors))
+	lastKey := keys[len(keys)-1]
+	for ci, c := range cursors {
+		pos[ci] = sort.Search(len(c.ordered), func(i int) bool {
+			return c.keyAt(i) >= keys[0]
+		})
+		end[ci] = pos[ci] + sort.Search(len(c.ordered)-pos[ci], func(i int) bool {
+			return c.keyAt(pos[ci]+i) > lastKey
+		})
+		// Indexers emit lists in key order, so the shard's entries in
+		// this run are (near-)contiguous in the blob: read the whole
+		// span with one positioned read instead of one read per list.
+		// A sparse span (hand-built or reordered run) falls back to
+		// per-list reads rather than dragging in unrelated bytes.
+		var minOff, maxEnd, sum uint64
+		for _, idx := range c.ordered[pos[ci]:end[ci]] {
+			e := c.rr.entries[idx]
+			if e.Length == 0 {
+				continue
+			}
+			if sum == 0 || e.Offset < minOff {
+				minOff = e.Offset
+			}
+			if e.Offset+uint64(e.Length) > maxEnd {
+				maxEnd = e.Offset + uint64(e.Length)
+			}
+			sum += uint64(e.Length)
+		}
+		if sum > 0 && maxEnd-minOff <= sum+sum/2+(64<<10) {
+			buf := make([]byte, maxEnd-minOff)
+			if err := c.rr.readBlobRange(minOff, buf); err != nil {
+				res.err = r.readErr(c.rr.name, err)
+				return res
+			}
+			spans[ci] = runSpan{buf: buf, base: minOff}
+		}
 	}
-	e := c.rr.entries[c.ordered[c.pos]]
-	return uint64(e.Collection)<<32 | uint64(e.Slot), true
+	var (
+		acc     postings.List
+		partBuf []byte // reused compressed-bytes buffer (decode copies out)
+	)
+	for _, key := range keys {
+		coll, slot := uint32(key>>32), uint32(key)
+		// Reuse docID/tf capacity across keys; Positions stays nil so
+		// the plain-vs-positional bookkeeping in Concat is untouched.
+		acc = postings.List{DocIDs: acc.DocIDs[:0], TFs: acc.TFs[:0]}
+		flags := uint32(0)
+		for ci, c := range cursors {
+			if pos[ci] >= len(c.ordered) || c.keyAt(pos[ci]) != key {
+				continue
+			}
+			e := c.rr.entries[c.ordered[pos[ci]]]
+			pos[ci]++
+			var partBlob []byte
+			if s := spans[ci]; s.buf != nil && e.Length > 0 {
+				partBlob = s.buf[e.Offset-s.base : e.Offset-s.base+uint64(e.Length)]
+			} else if e.Length > 0 {
+				var err error
+				partBlob, err = c.rr.readBlobInto(e, partBuf)
+				if err != nil {
+					res.err = r.readErr(c.rr.name, err)
+					return res
+				}
+				partBuf = partBlob // keep the grown buffer for the next read
+			}
+			r.listBytes.Add(uint64(e.Length))
+			part, err := decodeEntry(partBlob, e)
+			if err != nil {
+				res.err = fmt.Errorf("store: %s: %w", c.rr.name, err)
+				return res
+			}
+			if err := postings.Concat(&acc, part); err != nil {
+				res.err = fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
+				return res
+			}
+		}
+		if acc.Len() == 0 {
+			continue
+		}
+		// Encode straight into the shard blob: the list's start offset
+		// is the blob length before the append, so no per-list scratch
+		// copy is needed.
+		start := len(res.blob)
+		var err error
+		if acc.Positional() {
+			flags = FlagPositional
+			res.blob, err = encoding.EncodePositionalPostings(res.blob, acc.DocIDs, acc.TFs, acc.Positions)
+		} else {
+			res.blob, err = encoding.EncodePostings(res.blob, acc.DocIDs, acc.TFs)
+		}
+		if err != nil {
+			res.err = fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
+			return res
+		}
+		res.entries = append(res.entries, RunEntry{
+			Collection: coll,
+			Slot:       slot,
+			Offset:     uint64(start),
+			Length:     uint32(len(res.blob) - start),
+			Count:      uint32(acc.Len()),
+			Flags:      flags,
+		})
+		res.hasDocs = true
+		if acc.DocIDs[0] < res.first {
+			res.first = acc.DocIDs[0]
+		}
+		if acc.DocIDs[acc.Len()-1] > res.last {
+			res.last = acc.DocIDs[acc.Len()-1]
+		}
+	}
+	return res
 }
 
 // Merge combines all partial postings lists into the single monolithic
 // merged.post file — the paper's optional post-processing step, priced
-// at <10% of build time (§III.F). The merge streams: run tables are
-// walked in parallel in key order, each term's partial lists are read
-// with one positioned read per run, concatenated, re-encoded and
-// appended to the output, so peak memory is O(runs × one list) plus
-// the O(terms) tables — never the whole index. The file and its
-// versioned sidecar are written atomically; on success this reader
-// switches to serving lookups from the merged file.
+// at <10% of build time (§III.F). The sorted key space is partitioned
+// into contiguous shards and merged by up to GOMAXPROCS workers
+// (ReaderOptions.MergeWorkers overrides the bound): each worker runs
+// the k-way merge for its shard — one positioned read per run per
+// term, concatenate, re-encode — and a single writer drains shards in
+// key order, so the output bytes are identical for any worker count.
+// A semaphore keeps at most workers+1 shard blobs in memory, so peak
+// memory stays O(workers × shard blob) plus the O(terms) tables —
+// never the whole index. The file and its versioned sidecar are
+// written atomically; on success this reader switches to serving
+// lookups from the merged file.
 func (r *IndexReader) Merge() (*MergeStats, error) {
 	r.mergeMu.Lock()
 	defer r.mergeMu.Unlock()
@@ -242,69 +390,88 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 	bw := bufio.NewWriterSize(f, 1<<20)
 
 	var (
-		entries  = make([]RunEntry, 0, len(keys))
-		scratch  []byte
-		blobOff  uint64
-		first    = ^uint32(0)
-		last     uint32
-		acc      postings.List
-		partBlob []byte
+		entries = make([]RunEntry, 0, len(keys))
+		blobOff uint64
+		first   = ^uint32(0)
+		last    uint32
 	)
-	for _, key := range keys {
-		coll, slot := uint32(key>>32), uint32(key)
-		acc = postings.List{}
-		count := uint32(0)
-		flags := uint32(0)
-		for _, c := range cursors {
-			k, ok := c.peek()
-			if !ok || k != key {
+	if len(keys) > 0 {
+		workers := r.mergeWorkers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(keys) {
+			workers = len(keys)
+		}
+		// A few shards per worker for load balance; the writer drains
+		// them strictly in key order so the file bytes never depend on
+		// scheduling.
+		nShards := workers * 4
+		if nShards > len(keys) {
+			nShards = len(keys)
+		}
+		resCh := make([]chan shardResult, nShards)
+		for i := range resCh {
+			resCh[i] = make(chan shardResult, 1)
+		}
+		// The semaphore bounds shard blobs in flight to workers+1.
+		// Tokens are acquired before a shard index is claimed, so the
+		// lowest undrained shard is always either claimed by a
+		// token-holding worker or claimable — no deadlock.
+		sem := make(chan struct{}, workers+1)
+		var nextShard atomic.Int64
+		var aborted atomic.Bool
+		for w := 0; w < workers; w++ {
+			go func() {
+				for {
+					sem <- struct{}{}
+					s := int(nextShard.Add(1)) - 1
+					if s >= nShards {
+						<-sem
+						return
+					}
+					if aborted.Load() {
+						resCh[s] <- shardResult{}
+						continue
+					}
+					lo, hi := s*len(keys)/nShards, (s+1)*len(keys)/nShards
+					resCh[s] <- r.mergeShard(cursors, keys[lo:hi])
+				}
+			}()
+		}
+		var workerErr error
+		for s := 0; s < nShards; s++ {
+			res := <-resCh[s]
+			<-sem
+			if workerErr != nil {
 				continue
 			}
-			e := c.rr.entries[c.ordered[c.pos]]
-			c.pos++
-			partBlob, err = c.rr.readBlob(e)
-			if err != nil {
-				return nil, r.readErr(c.rr.name, err)
+			if res.err != nil {
+				workerErr = res.err
+				aborted.Store(true)
+				continue
 			}
-			r.listBytes.Add(uint64(e.Length))
-			part, err := decodeEntry(partBlob, e)
-			if err != nil {
-				return nil, fmt.Errorf("store: %s: %w", c.rr.name, err)
+			if _, err := bw.Write(res.blob); err != nil {
+				workerErr = err
+				aborted.Store(true)
+				continue
 			}
-			if err := postings.Concat(&acc, part); err != nil {
-				return nil, fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
+			for _, e := range res.entries {
+				e.Offset += blobOff
+				entries = append(entries, e)
+			}
+			blobOff += uint64(len(res.blob))
+			if res.hasDocs {
+				if res.first < first {
+					first = res.first
+				}
+				if res.last > last {
+					last = res.last
+				}
 			}
 		}
-		if acc.Len() == 0 {
-			continue
-		}
-		if acc.Positional() {
-			flags = FlagPositional
-			scratch, err = encoding.EncodePositionalPostings(scratch[:0], acc.DocIDs, acc.TFs, acc.Positions)
-		} else {
-			scratch, err = encoding.EncodePostings(scratch[:0], acc.DocIDs, acc.TFs)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
-		}
-		if _, err := bw.Write(scratch); err != nil {
-			return nil, err
-		}
-		count = uint32(acc.Len())
-		entries = append(entries, RunEntry{
-			Collection: coll,
-			Slot:       slot,
-			Offset:     blobOff,
-			Length:     uint32(len(scratch)),
-			Count:      count,
-			Flags:      flags,
-		})
-		blobOff += uint64(len(scratch))
-		if acc.DocIDs[0] < first {
-			first = acc.DocIDs[0]
-		}
-		if acc.DocIDs[acc.Len()-1] > last {
-			last = acc.DocIDs[acc.Len()-1]
+		if workerErr != nil {
+			return nil, workerErr
 		}
 	}
 	if err := bw.Flush(); err != nil {

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
@@ -149,6 +150,42 @@ func assertSameList(t *testing.T, label string, got, want *postings.List) {
 
 // TestMergeLeavesNoTempFiles: the atomic write must not leave temp
 // files behind on success.
+// TestMergeWorkersDeterministic merges identical indexes with several
+// worker counts and requires bit-identical merged files: the sharded
+// parallel merge must never let scheduling reach the output bytes.
+func TestMergeWorkersDeterministic(t *testing.T) {
+	mergeWith := func(workers int) ([]byte, []byte) {
+		dir, _ := buildMergedTestDir(t)
+		idx, err := OpenIndexWith(dir, ReaderOptions{MergeWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.Merge(); err != nil {
+			t.Fatal(err)
+		}
+		idx.Close()
+		post, err := os.ReadFile(filepath.Join(dir, mergedFileName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		side, err := os.ReadFile(filepath.Join(dir, mergedSidecarName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return post, side
+	}
+	wantPost, wantSide := mergeWith(1)
+	for _, workers := range []int{2, 3, 8} {
+		gotPost, gotSide := mergeWith(workers)
+		if !bytes.Equal(gotPost, wantPost) {
+			t.Fatalf("merged.post differs between 1 and %d workers", workers)
+		}
+		if !bytes.Equal(gotSide, wantSide) {
+			t.Fatalf("merged.json differs between 1 and %d workers", workers)
+		}
+	}
+}
+
 func TestMergeLeavesNoTempFiles(t *testing.T) {
 	dir, _ := buildMergedTestDir(t)
 	mergeDir(t, dir)

@@ -112,10 +112,14 @@ func Strip(idx int, term []byte) []byte {
 // Restore prepends the trie prefix of idx to a stripped term, yielding
 // the original term. It allocates the result.
 func Restore(idx int, stripped []byte) []byte {
-	p := Prefix(idx)
-	out := make([]byte, 0, len(p)+len(stripped))
-	out = append(out, p...)
-	return append(out, stripped...)
+	return RestoreAppend(idx, nil, stripped)
+}
+
+// RestoreAppend is Restore appending into dst, so bulk dictionary
+// walks can reuse one scratch buffer per term instead of allocating.
+func RestoreAppend(idx int, dst, stripped []byte) []byte {
+	dst = append(dst, Prefix(idx)...)
+	return append(dst, stripped...)
 }
 
 // CategoryName describes the Table I row an index belongs to, for
