@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check lint smoke bench bench-smoke microbench fuzz differential experiments merge-bench tools clean
+.PHONY: all build test race check lint smoke bench bench-smoke codec-bench microbench fuzz differential experiments merge-bench tools clean
 
 all: build test
 
@@ -55,10 +55,19 @@ bench:
 	$(GO) run ./cmd/benchrunner -buildbench -benchout -
 
 # CI-sized buildbench gated against the committed reference: fails when
-# quick-mode end-to-end throughput drops more than 20%.
+# quick-mode end-to-end throughput drops more than 20% or allocs/op
+# grow more than 30% (alloc counts are stable on noisy runners, so the
+# tighter-feeling bound holds in practice).
 bench-smoke:
 	$(GO) run ./cmd/benchrunner -buildbench -quick \
-		-benchout bench-smoke.json -compare BENCH_PR5.json
+		-benchout bench-smoke.json -compare BENCH_PR5.json \
+		-tolerance 0.2 -alloc-tolerance 0.3
+
+# Postings-codec ablation (bytes/posting, compression ratio,
+# encode/decode speed per codec and list class). Redirect to
+# BENCH_PR6.json to refresh the committed reference.
+codec-bench:
+	$(GO) run ./cmd/benchrunner -codecbench -benchout -
 
 # One pass over every go-test microbenchmark with allocation metrics.
 microbench:
@@ -69,6 +78,7 @@ fuzz:
 	$(GO) test ./internal/encoding/ -fuzz FuzzUvarByte -fuzztime 30s
 	$(GO) test ./internal/encoding/ -fuzz FuzzDecodePostings -fuzztime 30s
 	$(GO) test ./internal/encoding/ -fuzz FuzzBitGammaGolomb -fuzztime 30s
+	$(GO) test ./internal/encoding/ -fuzz FuzzCodecRoundTrip -fuzztime 30s
 	$(GO) test ./internal/parser/ -fuzz FuzzParseDoc -fuzztime 30s
 	$(GO) test ./internal/parser/ -fuzz FuzzGroupForEach -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzParseRun -fuzztime 30s

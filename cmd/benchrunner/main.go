@@ -37,11 +37,13 @@ func main() {
 		jsonOut    = flag.String("json", "", "write BENCH_*.json stage-level benchmark (throughput + per-stage breakdowns) to this file (\"-\" = stdout)")
 		mergebench = flag.Bool("mergebench", false, "compare query latency before/after the post-processing merge")
 		buildbench = flag.Bool("buildbench", false, "run the build hot-path benchmark suite (tokenizer, parser, IndexRun, end-to-end build, merge)")
-		quick      = flag.Bool("quick", false, "buildbench: CI-sized corpus (seconds instead of minutes)")
-		benchOut   = flag.String("benchout", "-", "buildbench: write the JSON document to this file (\"-\" = stdout)")
+		quick      = flag.Bool("quick", false, "buildbench/codecbench: CI-sized run (seconds instead of minutes)")
+		benchOut   = flag.String("benchout", "-", "buildbench/codecbench: write the JSON document to this file (\"-\" = stdout)")
 		baseline   = flag.String("baseline", "", "buildbench: embed this previous BENCH_*.json as the baseline and compute deltas")
 		compare    = flag.String("compare", "", "buildbench: gate against this committed BENCH_*.json (fails when end-to-end throughput drops > -tolerance)")
 		tolerance  = flag.Float64("tolerance", 0.2, "buildbench -compare: allowed end-to-end throughput drop fraction")
+		allocTol   = flag.Float64("alloc-tolerance", 0.3, "buildbench -compare: allowed end-to-end allocs/op growth fraction (<=0 disables)")
+		codecbench = flag.Bool("codecbench", false, "run the postings-codec ablation (bytes/posting, compression ratio, encode/decode speed per codec and list class)")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
@@ -196,8 +198,22 @@ func main() {
 		if *compare != "" {
 			committed, err := experiments.ReadBuildBenchDoc(*compare)
 			check(err)
-			check(experiments.CompareBuildBench(committed, doc, *tolerance))
+			check(experiments.CompareBuildBench(committed, doc, *tolerance, *allocTol))
 			fmt.Printf("bench gate OK: within %.0f%% of %s\n", *tolerance*100, *compare)
+		}
+	}
+	if *codecbench {
+		ran = true
+		doc, err := experiments.CodecBenchRun(*quick)
+		check(err)
+		if *benchOut != "-" {
+			f, err := os.Create(*benchOut)
+			check(err)
+			check(experiments.WriteCodecBenchDoc(f, doc))
+			check(f.Close())
+			fmt.Printf("codec benchmark written to %s\n", *benchOut)
+		} else {
+			experiments.FprintCodecBench(w, doc)
 		}
 	}
 	if *jsonOut != "" {

@@ -57,6 +57,7 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "run the goroutine-parallel executor")
 		verify     = flag.Bool("verify", false, "run an integrity check on the written index")
 		merge      = flag.Bool("merge", false, "run the post-processing merge on the written index (requires -out)")
+		codecName  = flag.String("codec", "", "postings codec for run files and the -merge pass: \"auto\" self-tunes per list, or force one registered codec (varbyte, gamma, golomb, bitpack, eliasfano); empty keeps runs on legacy varbyte and lets -merge self-tune")
 		progress   = flag.Bool("progress", false, "print a live progress ticker while building")
 		metricsOut = flag.String("metrics", "", "write a Prometheus metrics snapshot to this file (\"-\" = stdout)")
 		traceOut   = flag.String("trace", "", "write a JSONL build trace to this file")
@@ -95,6 +96,7 @@ func main() {
 	opts.OutDir = *out
 	opts.Positional = *positional
 	opts.Concurrent = *concurrent
+	opts.RunCodec = *codecName
 	g := gpu.TeslaC1060()
 	g.DeviceMemBytes = *gpuMem << 20
 	opts.GPU = g
@@ -156,7 +158,7 @@ func main() {
 	if *out != "" {
 		fmt.Printf("index written to %s\n", *out)
 		if *merge {
-			idx, err := fastinvert.Open(*out)
+			idx, err := fastinvert.OpenWith(*out, fastinvert.ReaderOptions{MergeCodec: *codecName})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -169,6 +171,18 @@ func main() {
 			fmt.Printf("merged: %d lists from %d runs into %.2f MB (docs [%d,%d]) in %s\n",
 				ms.Lists, ms.Runs, float64(ms.Bytes)/(1<<20), ms.FirstDoc, ms.LastDoc,
 				time.Since(t0).Round(time.Millisecond))
+			if len(ms.Codecs) > 0 {
+				fmt.Printf("merged codecs:")
+				names := make([]string, 0, len(ms.Codecs))
+				for name := range ms.Codecs {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				for _, name := range names {
+					fmt.Printf(" %s=%d", name, ms.Codecs[name])
+				}
+				fmt.Println()
+			}
 		}
 		if *verify {
 			vr, err := fastinvert.VerifyIndex(*out)

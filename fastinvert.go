@@ -160,6 +160,17 @@ func CorpusStats(src Source) (corpus.Stats, error) { return corpus.ComputeStats(
 // queries return ErrClosed.
 func Open(dir string) (*Index, error) { return store.OpenIndex(dir) }
 
+// ReaderOptions tunes how an index directory is opened; see
+// store.ReaderOptions for field docs. The zero value matches Open.
+type ReaderOptions = store.ReaderOptions
+
+// OpenWith is Open with reader options — notably MergeCodec, which
+// selects the postings codec strategy ("auto", "varbyte", ...) the
+// next Index.Merge writes with.
+func OpenWith(dir string, opts ReaderOptions) (*Index, error) {
+	return store.OpenIndexWith(dir, opts)
+}
+
 // Searcher evaluates Boolean and ranked queries over an opened index.
 type Searcher = search.Searcher
 

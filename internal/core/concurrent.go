@@ -418,7 +418,7 @@ func (e *Engine) postProcessBlock(pf *parsedFile, docBase uint32,
 	}
 
 	t := time.Now()
-	rb := store.NewRunBuilder()
+	rb := store.NewRunBuilderCodec(e.runSel)
 	if err := e.flushRun(rb); err != nil {
 		return err
 	}
@@ -497,6 +497,9 @@ func (e *Engine) finishReport(rep *Report, items []pipesim.Item, nIdx int, write
 		rep.GPUTokens += st.Tokens
 		rep.GPUTerms += st.NewTerms
 		rep.GPUChars += st.Chars
+		// Bound resident simulator memory between builds: drop the
+		// device chunks that backed only this build's transient data.
+		ix.Device().TrimTransients()
 	}
 
 	res := pipesim.Simulate(pipesim.Config{

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 
+	"fastinvert/internal/encoding"
 	"fastinvert/internal/gpu"
 	"fastinvert/internal/sampling"
 	"fastinvert/internal/telemetry"
@@ -93,6 +94,13 @@ type Config struct {
 	// keeps the default; an empty non-nil slice disables stop-word
 	// removal entirely).
 	StopWords []string
+
+	// RunCodec selects how run files encode postings lists: "auto"
+	// for per-list self-tuning selection, a codec name ("varbyte",
+	// "gamma", "golomb", "bitpack", "eliasfano") to force one codec,
+	// or empty for the legacy varbyte format (version-3 run files,
+	// byte-identical to pre-codec builds).
+	RunCodec string
 
 	// Progress, when non-nil, is invoked after each container file
 	// completes its run (done of total files). Called from the build
@@ -197,6 +205,11 @@ func (c Config) validate() error {
 	}
 	if c.DiskBytesPerSec <= 0 {
 		return fmt.Errorf("core: disk bandwidth must be positive")
+	}
+	if c.RunCodec != "" {
+		if _, err := encoding.SelectorFor(c.RunCodec); err != nil {
+			return fmt.Errorf("core: run codec: %w", err)
+		}
 	}
 	return nil
 }

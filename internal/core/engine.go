@@ -8,6 +8,7 @@ import (
 
 	"fastinvert/internal/corpus"
 	"fastinvert/internal/cpuindexer"
+	"fastinvert/internal/encoding"
 	"fastinvert/internal/gpu"
 	"fastinvert/internal/gpuindexer"
 	"fastinvert/internal/parser"
@@ -46,6 +47,10 @@ type Engine struct {
 	// observer seam and the per-trie-collection token accumulator.
 	obs        spanObserver
 	collTokens map[int]int64
+
+	// runSel is the per-list codec selector resolved from
+	// Config.RunCodec at New; nil keeps the legacy varbyte run format.
+	runSel encoding.Selector
 }
 
 // fileScratch is the recyclable per-file parser-stage scratch: the doc
@@ -75,6 +80,13 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e := &Engine{cfg: cfg, blocks: parser.NewBlockPool()}
 	e.scratch.New = func() any { return &fileScratch{} }
+	if cfg.RunCodec != "" {
+		sel, err := encoding.SelectorFor(cfg.RunCodec)
+		if err != nil {
+			return nil, fmt.Errorf("core: run codec: %w", err)
+		}
+		e.runSel = sel
+	}
 	for i := 0; i < cfg.CPUIndexers; i++ {
 		ix := cpuindexer.New()
 		ix.NoCache = cfg.NoCacheDictionary

@@ -338,10 +338,14 @@ func WriteBuildBenchDoc(w io.Writer, doc *BuildBenchDoc) error {
 
 // CompareBuildBench gates a fresh quick run against the committed
 // document's quick reference: it returns an error when end-to-end
-// build throughput dropped by more than tolerance (e.g. 0.2 = 20%).
+// build throughput dropped by more than tolerance (e.g. 0.2 = 20%), or
+// when allocations per op grew by more than allocTolerance (e.g. 0.3 =
+// 30%; <=0 skips the allocation gate). Allocation counts are far more
+// stable than wall-clock throughput on noisy shared runners, so the
+// alloc gate catches churn regressions the throughput gate lets slide.
 // Used by CI's bench-smoke job to make hot-path regressions visible on
 // every PR.
-func CompareBuildBench(committed *BuildBenchDoc, current *BuildBenchDoc, tolerance float64) error {
+func CompareBuildBench(committed *BuildBenchDoc, current *BuildBenchDoc, tolerance, allocTolerance float64) error {
 	ref := committed.QuickReference
 	if ref == nil {
 		if m, ok := committed.Benchmarks["build_e2e"]; ok && committed.Mode == "quick" {
@@ -359,6 +363,13 @@ func CompareBuildBench(committed *BuildBenchDoc, current *BuildBenchDoc, toleran
 	if cur.MBPerSec < floor {
 		return fmt.Errorf("buildbench: end-to-end build throughput %.2f MB/s is below %.2f MB/s (committed %.2f MB/s - %.0f%%)",
 			cur.MBPerSec, floor, ref.MBPerSec, tolerance*100)
+	}
+	if allocTolerance > 0 && ref.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
+		ceil := float64(ref.AllocsPerOp) * (1 + allocTolerance)
+		if float64(cur.AllocsPerOp) > ceil {
+			return fmt.Errorf("buildbench: end-to-end build allocations %d/op exceed %.0f/op (committed %d/op + %.0f%%)",
+				cur.AllocsPerOp, ceil, ref.AllocsPerOp, allocTolerance*100)
+		}
 	}
 	return nil
 }

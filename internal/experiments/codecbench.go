@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"fastinvert/internal/encoding"
+)
+
+// The codec benchmark ("benchrunner -codecbench") is the compression
+// ablation behind the pluggable codec registry: for every registered
+// codec and every list class it measures bytes per posting, the
+// compression ratio against the raw 8-byte (docID, tf) pair, and
+// encode/decode speed. The classes mirror what the self-tuning
+// selector distinguishes: tiny lists it leaves on varbyte, dense
+// low-gap lists it bit-packs, and sparse high-gap lists it hands to
+// Elias-Fano. Micro numbers use testing.Benchmark so the methodology
+// matches `go test -bench`.
+
+// CodecBenchRow is one (codec, list class) measurement.
+type CodecBenchRow struct {
+	Codec            string  `json:"codec"`
+	Class            string  `json:"class"`
+	Lists            int     `json:"lists"`
+	Postings         int     `json:"postings"`
+	BytesPerPosting  float64 `json:"bytes_per_posting"`
+	CompressionRatio float64 `json:"compression_ratio"` // raw 8 B/posting over encoded bytes
+	EncodeNsPerPost  float64 `json:"encode_ns_per_posting"`
+	DecodeNsPerPost  float64 `json:"decode_ns_per_posting"`
+	DecodeMBps       float64 `json:"decode_mb_per_s"` // raw (docID,tf) MB decoded per second
+}
+
+// CodecBenchDoc is the top-level BENCH_PR6.json document.
+type CodecBenchDoc struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	GoVersion  string          `json:"go_version"`
+	Classes    []string        `json:"classes"`
+	Rows       []CodecBenchRow `json:"rows"`
+	// BestByClass maps each class to the codec with the fewest bytes
+	// per posting, matching what the auto selector should converge to.
+	BestByClass map[string]string `json:"best_by_class"`
+}
+
+// codecBenchClass is one synthetic list population with a fixed gap
+// and length profile.
+type codecBenchClass struct {
+	name     string
+	lists    int
+	listLen  int
+	gapRange int // docID gaps drawn uniformly from [1, gapRange]
+	tfRange  int // term frequencies drawn uniformly from [1, tfRange]
+}
+
+// codecBenchClasses are the list populations, chosen to straddle the
+// selector's decision boundaries (length floor at 32, density cut at
+// mean gap 8).
+func codecBenchClasses(quick bool) []codecBenchClass {
+	scale := 1
+	if quick {
+		scale = 4
+	}
+	return []codecBenchClass{
+		{name: "tiny", lists: 2048 / scale, listLen: 8, gapRange: 1 << 16, tfRange: 3},
+		{name: "dense", lists: 128 / scale, listLen: 4096, gapRange: 3, tfRange: 4},
+		{name: "medium", lists: 256 / scale, listLen: 1024, gapRange: 256, tfRange: 6},
+		{name: "sparse", lists: 128 / scale, listLen: 4096, gapRange: 1 << 16, tfRange: 2},
+	}
+}
+
+type codecBenchList struct {
+	docs []uint32
+	tfs  []uint32
+}
+
+func genCodecBenchLists(cl codecBenchClass, rng *rand.Rand) []codecBenchList {
+	lists := make([]codecBenchList, cl.lists)
+	for i := range lists {
+		docs := make([]uint32, cl.listLen)
+		tfs := make([]uint32, cl.listLen)
+		id := uint32(0)
+		for j := range docs {
+			id += 1 + uint32(rng.Intn(cl.gapRange))
+			docs[j] = id
+			tfs[j] = 1 + uint32(rng.Intn(cl.tfRange))
+		}
+		lists[i] = codecBenchList{docs: docs, tfs: tfs}
+	}
+	return lists
+}
+
+// CodecBenchRun measures every registered codec over every list class.
+// Quick mode shrinks the populations for CI.
+func CodecBenchRun(quick bool) (*CodecBenchDoc, error) {
+	return codecBenchRun(codecBenchClasses(quick), true)
+}
+
+// codecBenchRun does the work; measureSpeed false skips the timed
+// encode/decode passes (tests assert the size columns without paying
+// testing.Benchmark's per-measurement second).
+func codecBenchRun(classes []codecBenchClass, measureSpeed bool) (*CodecBenchDoc, error) {
+	doc := &CodecBenchDoc{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		BestByClass: make(map[string]string),
+	}
+	for _, cl := range classes {
+		doc.Classes = append(doc.Classes, cl.name)
+		lists := genCodecBenchLists(cl, rand.New(rand.NewSource(0x1F6)))
+		postings := cl.lists * cl.listLen
+		rawBytes := int64(postings) * 8
+
+		bestCodec, bestBpp := "", 0.0
+		for _, c := range encoding.Codecs() {
+			// Size pass, with a round-trip check so the numbers can
+			// never come from a codec that corrupts its input.
+			totalBytes := 0
+			encoded := make([][]byte, len(lists))
+			for i, l := range lists {
+				buf, err := c.Encode(nil, l.docs, l.tfs, nil)
+				if err != nil {
+					return nil, fmt.Errorf("codecbench: %s/%s encode: %w", c.Name(), cl.name, err)
+				}
+				docs, tfs, _, err := c.Decode(buf, len(l.docs), false)
+				if err != nil {
+					return nil, fmt.Errorf("codecbench: %s/%s decode: %w", c.Name(), cl.name, err)
+				}
+				for j := range docs {
+					if docs[j] != l.docs[j] || tfs[j] != l.tfs[j] {
+						return nil, fmt.Errorf("codecbench: %s/%s round-trip failed", c.Name(), cl.name)
+					}
+				}
+				totalBytes += len(buf)
+				encoded[i] = buf
+			}
+
+			row := CodecBenchRow{
+				Codec:            c.Name(),
+				Class:            cl.name,
+				Lists:            cl.lists,
+				Postings:         postings,
+				BytesPerPosting:  float64(totalBytes) / float64(postings),
+				CompressionRatio: float64(rawBytes) / float64(totalBytes),
+			}
+			if measureSpeed {
+				encRes := testing.Benchmark(func(b *testing.B) {
+					b.SetBytes(rawBytes)
+					var dst []byte
+					for i := 0; i < b.N; i++ {
+						for _, l := range lists {
+							dst, _ = c.Encode(dst[:0], l.docs, l.tfs, nil)
+						}
+					}
+				})
+				decRes := testing.Benchmark(func(b *testing.B) {
+					b.SetBytes(rawBytes)
+					for i := 0; i < b.N; i++ {
+						for j, buf := range encoded {
+							if _, _, _, err := c.Decode(buf, len(lists[j].docs), false); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				})
+				row.EncodeNsPerPost = float64(encRes.NsPerOp()) / float64(postings)
+				row.DecodeNsPerPost = float64(decRes.NsPerOp()) / float64(postings)
+				if decRes.T > 0 {
+					row.DecodeMBps = float64(rawBytes) * float64(decRes.N) / decRes.T.Seconds() / (1 << 20)
+				}
+			}
+			doc.Rows = append(doc.Rows, row)
+			if bestCodec == "" || row.BytesPerPosting < bestBpp {
+				bestCodec, bestBpp = c.Name(), row.BytesPerPosting
+			}
+		}
+		doc.BestByClass[cl.name] = bestCodec
+	}
+	return doc, nil
+}
+
+// WriteCodecBenchDoc writes the document as indented JSON.
+func WriteCodecBenchDoc(w io.Writer, doc *CodecBenchDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// FprintCodecBench renders the ablation as a per-class table.
+func FprintCodecBench(w io.Writer, doc *CodecBenchDoc) {
+	fmt.Fprintln(w, "CODEC ABLATION (bytes/posting, ratio vs raw 8 B, decode speed per codec and list class)")
+	for _, class := range doc.Classes {
+		fmt.Fprintf(w, "class %-8s %12s %8s %10s %10s %10s\n",
+			class, "B/posting", "ratio", "enc ns/p", "dec ns/p", "dec MB/s")
+		rows := make([]CodecBenchRow, 0, len(doc.Rows))
+		for _, r := range doc.Rows {
+			if r.Class == class {
+				rows = append(rows, r)
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].BytesPerPosting < rows[j].BytesPerPosting })
+		for _, r := range rows {
+			best := " "
+			if doc.BestByClass[class] == r.Codec {
+				best = "*"
+			}
+			fmt.Fprintf(w, "  %s %-10s %10.2f %8.2fx %10.2f %10.2f %10.1f\n",
+				best, r.Codec, r.BytesPerPosting, r.CompressionRatio,
+				r.EncodeNsPerPost, r.DecodeNsPerPost, r.DecodeMBps)
+		}
+	}
+}

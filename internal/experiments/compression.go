@@ -10,8 +10,8 @@ import (
 )
 
 // CompressionRow compares one postings codec over a whole collection's
-// final postings lists (§II: "variable byte encoding, gamma encoding
-// and Golomb compression" over docID gaps).
+// final postings lists (§II names variable byte, gamma and Golomb; the
+// codec registry adds bit-packed blocks and Elias-Fano).
 type CompressionRow struct {
 	Codec          string
 	BitsPerPosting float64
@@ -20,145 +20,58 @@ type CompressionRow struct {
 }
 
 // CompressionComparison builds the reference postings for the
-// ClueWeb-like collection and measures size and speed of the three
-// codecs on the gap-transformed lists. Every codec's output is decoded
+// ClueWeb-like collection and measures size and speed of every
+// registered codec on the real lists. Every codec's output is decoded
 // and verified against the input.
 func CompressionComparison(s Scale) ([]CompressionRow, error) {
 	ref, err := reference.BuildFromSource(ClueWebSource(s))
 	if err != nil {
 		return nil, err
 	}
-	// Flatten postings into per-list gap+tf sequences.
 	type list struct {
-		gaps []uint64
-		tfs  []uint64
-		n    int
+		docs []uint32
+		tfs  []uint32
 	}
 	var lists []list
 	totalPostings := 0
 	for _, l := range ref.Lists {
-		gl := list{n: l.Len()}
-		prev := uint32(0)
-		for i, d := range l.DocIDs {
-			gl.gaps = append(gl.gaps, uint64(d-prev))
-			gl.tfs = append(gl.tfs, uint64(l.TFs[i]))
-			prev = d
-		}
-		lists = append(lists, gl)
+		lists = append(lists, list{docs: l.DocIDs, tfs: l.TFs})
 		totalPostings += l.Len()
 	}
 	rawMB := float64(totalPostings*8) / (1 << 20)
 
-	type codec struct {
-		name   string
-		encode func(gaps, tfs []uint64) ([]byte, int)
-		decode func(buf []byte, n int) bool
-	}
-	codecs := []codec{
-		{
-			name: "varbyte",
-			encode: func(gaps, tfs []uint64) ([]byte, int) {
-				var out []byte
-				for i := range gaps {
-					out = encoding.PutUvarByte(out, gaps[i])
-					out = encoding.PutUvarByte(out, tfs[i])
-				}
-				return out, len(out) * 8
-			},
-			decode: func(buf []byte, n int) bool {
-				pos := 0
-				for i := 0; i < 2*n; i++ {
-					_, m := encoding.UvarByte(buf[pos:])
-					if m <= 0 {
-						return false
-					}
-					pos += m
-				}
-				return true
-			},
-		},
-		{
-			name: "gamma",
-			encode: func(gaps, tfs []uint64) ([]byte, int) {
-				w := encoding.NewBitWriter(nil)
-				for i := range gaps {
-					encoding.PutGamma(w, gaps[i]+1)
-					encoding.PutGamma(w, tfs[i]+1)
-				}
-				bits := w.BitLen()
-				return w.Bytes(), bits
-			},
-			decode: func(buf []byte, n int) bool {
-				r := encoding.NewBitReader(buf)
-				for i := 0; i < 2*n; i++ {
-					if _, ok := encoding.Gamma(r); !ok {
-						return false
-					}
-				}
-				return true
-			},
-		},
-	}
-	// Golomb needs the per-list parameter; close over the doc count.
-	totalDocs := uint64(ref.Docs)
-	codecs = append(codecs, codec{
-		name: "golomb",
-		encode: func(gaps, tfs []uint64) ([]byte, int) {
-			b := encoding.GolombParam(totalDocs, uint64(len(gaps)))
-			w := encoding.NewBitWriter(nil)
-			for i := range gaps {
-				encoding.PutGolomb(w, gaps[i], b)
-				encoding.PutGamma(w, tfs[i]+1)
-			}
-			bits := w.BitLen()
-			return w.Bytes(), bits
-		},
-		decode: func(buf []byte, n int) bool {
-			// Decode golomb with the same parameter reconstruction.
-			return true // verified inside the encode pass below
-		},
-	})
-
 	var rows []CompressionRow
-	for _, c := range codecs {
-		totalBits := 0
+	for _, c := range encoding.Codecs() {
+		totalBytes := 0
 		t0 := time.Now()
-		type enc struct {
-			buf []byte
-			n   int
-		}
-		encoded := make([]enc, len(lists))
+		encoded := make([][]byte, len(lists))
 		for i, l := range lists {
-			buf, bits := c.encode(l.gaps, l.tfs)
-			totalBits += bits
-			encoded[i] = enc{buf, l.n}
+			buf, err := c.Encode(nil, l.docs, l.tfs, nil)
+			if err != nil {
+				return nil, fmt.Errorf("compression: %s encode: %w", c.Name(), err)
+			}
+			totalBytes += len(buf)
+			encoded[i] = buf
 		}
 		encSec := time.Since(t0).Seconds()
 
 		t0 = time.Now()
-		for i, e := range encoded {
-			if c.name == "golomb" {
-				b := encoding.GolombParam(totalDocs, uint64(lists[i].n))
-				r := encoding.NewBitReader(e.buf)
-				for j := 0; j < e.n; j++ {
-					g, ok := encoding.Golomb(r, b)
-					if !ok || g != lists[i].gaps[j] {
-						return nil, fmt.Errorf("compression: golomb round-trip failed")
-					}
-					tf, ok := encoding.Gamma(r)
-					if !ok || tf-1 != lists[i].tfs[j] {
-						return nil, fmt.Errorf("compression: golomb tf round-trip failed")
-					}
+		for i, buf := range encoded {
+			docs, tfs, _, err := c.Decode(buf, len(lists[i].docs), false)
+			if err != nil {
+				return nil, fmt.Errorf("compression: %s decode: %w", c.Name(), err)
+			}
+			for j := range docs {
+				if docs[j] != lists[i].docs[j] || tfs[j] != lists[i].tfs[j] {
+					return nil, fmt.Errorf("compression: %s round-trip failed", c.Name())
 				}
-			} else if !c.decode(e.buf, e.n) {
-				return nil, fmt.Errorf("compression: %s round-trip failed", c.name)
 			}
 		}
 		decSec := time.Since(t0).Seconds()
 
 		rows = append(rows, CompressionRow{
-			Codec:          c.name,
-			BitsPerPosting: float64(totalBits) / float64(totalPostings),
+			Codec:          c.Name(),
+			BitsPerPosting: float64(totalBytes*8) / float64(totalPostings),
 			EncodeMBps:     rawMB / encSec,
 			DecodeMBps:     rawMB / decSec,
 		})
@@ -168,7 +81,7 @@ func CompressionComparison(s Scale) ([]CompressionRow, error) {
 
 // FprintCompression renders the codec comparison.
 func FprintCompression(w io.Writer, rows []CompressionRow) {
-	fmt.Fprintln(w, "POSTINGS COMPRESSION (gap-transformed docIDs + tf, whole collection)")
+	fmt.Fprintln(w, "POSTINGS COMPRESSION (whole-collection postings lists, every registered codec)")
 	fmt.Fprintf(w, "%-10s %16s %12s %12s\n", "codec", "bits/posting", "enc MB/s", "dec MB/s")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-10s %16.2f %12.1f %12.1f\n",

@@ -4,6 +4,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"fastinvert/internal/encoding"
 )
 
 // tinyScale keeps experiment tests fast; shape assertions that need
@@ -302,8 +304,8 @@ func TestCompressionComparisonShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(rows) != int(encoding.NumCodecs) {
+		t.Fatalf("rows = %d, want one per registered codec (%d)", len(rows), encoding.NumCodecs)
 	}
 	byName := map[string]CompressionRow{}
 	for _, r := range rows {
@@ -326,7 +328,64 @@ func TestCompressionComparisonShape(t *testing.T) {
 		t.Errorf("varbyte encode (%.1f MB/s) not faster than gamma (%.1f MB/s)",
 			byName["varbyte"].EncodeMBps, byName["gamma"].EncodeMBps)
 	}
+	// The new codecs must earn their place: at least one of bitpack /
+	// eliasfano beats varbyte on whole-collection bits/posting.
+	if byName["bitpack"].BitsPerPosting >= byName["varbyte"].BitsPerPosting &&
+		byName["eliasfano"].BitsPerPosting >= byName["varbyte"].BitsPerPosting {
+		t.Errorf("neither bitpack (%.2f bits) nor eliasfano (%.2f bits) beats varbyte (%.2f bits)",
+			byName["bitpack"].BitsPerPosting, byName["eliasfano"].BitsPerPosting,
+			byName["varbyte"].BitsPerPosting)
+	}
 	FprintCompression(io.Discard, rows)
+}
+
+// TestCodecBenchShape runs the codec ablation's size pass (the timed
+// pass is skipped: testing.Benchmark pays a second per measurement)
+// and pins the headline the committed BENCH_PR6.json must show: the
+// new codecs beat varbyte on bytes/posting for at least one class.
+func TestCodecBenchShape(t *testing.T) {
+	doc, err := codecBenchRun(codecBenchClasses(true), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(codecBenchClasses(true)) * int(encoding.NumCodecs)
+	if len(doc.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d (codecs x classes)", len(doc.Rows), wantRows)
+	}
+	bpp := map[string]map[string]float64{}
+	for _, r := range doc.Rows {
+		if r.BytesPerPosting <= 0 || r.CompressionRatio <= 0 {
+			t.Errorf("%s/%s: degenerate row %+v", r.Codec, r.Class, r)
+		}
+		if bpp[r.Class] == nil {
+			bpp[r.Class] = map[string]float64{}
+		}
+		bpp[r.Class][r.Codec] = r.BytesPerPosting
+	}
+	// The acceptance headline: bitpack wins the dense class and
+	// Elias-Fano beats varbyte on the sparse class.
+	if bpp["dense"]["bitpack"] >= bpp["dense"]["varbyte"] {
+		t.Errorf("dense: bitpack (%.2f B) not below varbyte (%.2f B)",
+			bpp["dense"]["bitpack"], bpp["dense"]["varbyte"])
+	}
+	if bpp["sparse"]["eliasfano"] >= bpp["sparse"]["varbyte"] {
+		t.Errorf("sparse: eliasfano (%.2f B) not below varbyte (%.2f B)",
+			bpp["sparse"]["eliasfano"], bpp["sparse"]["varbyte"])
+	}
+	for _, class := range doc.Classes {
+		best, ok := doc.BestByClass[class]
+		if !ok {
+			t.Errorf("%s: no best codec recorded", class)
+			continue
+		}
+		for codec, v := range bpp[class] {
+			if v < bpp[class][best] {
+				t.Errorf("%s: best %s (%.2f B) beaten by %s (%.2f B)",
+					class, best, bpp[class][best], codec, v)
+			}
+		}
+	}
+	FprintCodecBench(io.Discard, doc)
 }
 
 func TestExtGPUSweepShape(t *testing.T) {

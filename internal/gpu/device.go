@@ -189,10 +189,32 @@ func (d *Device) MallocTransient(n int) Ptr {
 }
 
 // FreeTransients releases every transient allocation (end of run).
+// The backing chunks stay materialized so the next run reuses them
+// without re-allocating; TrimTransients drops them when a build ends.
 func (d *Device) FreeTransients() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.top = d.size
+}
+
+// TrimTransients releases every transient allocation and drops the
+// backing chunks that held only transient data, bounding a long-lived
+// engine's resident memory between builds by the persistent footprint
+// (without it, every device keeps every chunk its largest build ever
+// touched). Called at build end, not per run — re-materializing
+// chunks on the hot path costs more than it saves. Dropping is
+// invisible to later builds: dropped chunks read as zeros, fresh
+// chunks materialize zeroed, and MallocTransient zeroes its range
+// anyway. Chunks at or below the persistent break are never dropped.
+func (d *Device) TrimTransients() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.top = d.size
+	d.chunkMu.Lock()
+	for i := (d.brk + chunkSize - 1) >> chunkShift; i < int64(len(d.chunks)); i++ {
+		d.chunks[i].Store(nil)
+	}
+	d.chunkMu.Unlock()
 }
 
 // Reset releases all allocations, persistent and transient. The
@@ -222,6 +244,21 @@ func (d *Device) TransientBytes() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.size - d.top
+}
+
+// ResidentBytes reports how much backing memory is actually
+// materialized — the simulator-host cost of the device, as opposed to
+// the simulated address-space size.
+func (d *Device) ResidentBytes() int64 {
+	d.chunkMu.Lock()
+	defer d.chunkMu.Unlock()
+	var n int64
+	for i := range d.chunks {
+		if d.chunks[i].Load() != nil {
+			n += chunkSize
+		}
+	}
+	return n
 }
 
 // CopyHtoD copies host bytes into device memory and accounts the PCIe

@@ -326,3 +326,65 @@ func BenchmarkKernelNodeLoad(b *testing.B) {
 		})
 	}
 }
+
+// TestTrimTransientsBoundsResident: FreeTransients (per run) must keep
+// the backing chunks materialized so runs reuse them without
+// re-allocation, while TrimTransients (build end) drops the chunks
+// above the persistent break, so a long-lived engine's resident memory
+// between builds is bounded by its persistent footprint — with
+// persistent data surviving and reused transient memory still reading
+// as zeros.
+func TestTrimTransientsBoundsResident(t *testing.T) {
+	cfg := testConfig()
+	cfg.DeviceMemBytes = 64 << 20
+	d := MustDevice(cfg)
+	persistent := d.Malloc(1 << 10)
+	d.CopyHtoD(persistent, []byte{7, 8, 9})
+
+	payload := make([]byte, 16<<20)
+	for i := range payload {
+		payload[i] = 0xaa
+	}
+	var resident int64
+	for run := 0; run < 5; run++ {
+		tp := d.MallocTransient(len(payload))
+		buf := make([]byte, 8)
+		d.CopyDtoH(buf, tp)
+		for _, b := range buf {
+			if b != 0 {
+				t.Fatal("transient region not zero on allocation")
+			}
+		}
+		d.CopyHtoD(tp, payload)
+		d.FreeTransients()
+		if resident == 0 {
+			resident = d.ResidentBytes()
+			if resident < int64(len(payload)) {
+				t.Fatalf("resident %d bytes after first run, want >= payload (chunks must stay for reuse)", resident)
+			}
+		} else if got := d.ResidentBytes(); got != resident {
+			t.Fatalf("run %d: resident %d bytes, first run left %d (FreeTransients must not churn chunks)", run, got, resident)
+		}
+	}
+	// Build end: only the chunk holding the persistent kilobyte may
+	// survive the trim.
+	d.TrimTransients()
+	if got := d.ResidentBytes(); got > chunkSize {
+		t.Fatalf("resident %d bytes after TrimTransients, want <= one chunk (%d)", got, chunkSize)
+	}
+	buf := make([]byte, 3)
+	d.CopyDtoH(buf, persistent)
+	if buf[0] != 7 || buf[1] != 8 || buf[2] != 9 {
+		t.Fatal("persistent data lost by transient trim")
+	}
+	// A post-trim allocation must see zeroed memory again.
+	tp := d.MallocTransient(1 << 20)
+	d.CopyDtoH(buf, tp)
+	if buf[0] != 0 || buf[1] != 0 || buf[2] != 0 {
+		t.Fatal("post-trim transient region not zero")
+	}
+	d.Reset()
+	if d.ResidentBytes() != 0 {
+		t.Fatal("Reset must drop all materialized chunks")
+	}
+}

@@ -60,6 +60,9 @@ func TestMetricsEndpoint(t *testing.T) {
 		"hetserve_pool_workers",
 		"hetserve_pool_completed_total",
 		"hetserve_index_terms",
+		"hetserve_store_decode_varbyte_total",
+		"hetserve_store_decode_bitpack_total",
+		"hetserve_store_decode_eliasfano_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q", want)

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"fastinvert/internal/encoding"
 	"fastinvert/internal/postings"
 	"fastinvert/internal/search"
 	"fastinvert/internal/store"
@@ -190,6 +191,15 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("hetserve_store_cache_bytes",
 		"Decoded postings bytes resident in the reader's byte-budgeted LRU.",
 		func() float64 { return float64(s.idx.Stats().CacheBytes) })
+	// Per-codec decode counters: which registered postings codecs the
+	// read path actually exercised. A self-tuned merged file shows a mix;
+	// a legacy index counts only varbyte.
+	for _, c := range encoding.Codecs() {
+		name := c.Name()
+		reg.CounterFunc("hetserve_store_decode_"+name+"_total",
+			"Postings lists decoded with the "+name+" codec.",
+			func() float64 { return float64(s.idx.Stats().CodecDecodes[name]) })
+	}
 }
 
 // Handler returns the route multiplexer.

@@ -1,0 +1,69 @@
+package store
+
+// crc32Combine computes the IEEE CRC-32 of the concatenation A||B from
+// crc(A), crc(B) and len(B), the zlib crc32_combine construction:
+// appending len2 zero bytes to A's message multiplies its CRC state by
+// x^(8*len2) in GF(2)[x]/P, and that multiplication is a linear map on
+// the 32-bit state, applied here by repeated matrix squaring — O(log
+// len2) instead of re-reading either buffer. It lets Merge checksum
+// the table and the streamed blob independently and splice them.
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	var even, odd gf2Matrix
+
+	// odd = the operator for one zero bit: a shift-down plus the
+	// reflected polynomial on carry-out.
+	odd[0] = 0xedb88320
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	even.square(&odd) // two zero bits
+	odd.square(&even) // four zero bits
+
+	// Apply x^(8*len2) by squaring through the bits of len2; the first
+	// pair of iterations lands back on byte granularity.
+	for {
+		even.square(&odd)
+		if len2&1 != 0 {
+			crc1 = even.times(crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		odd.square(&even)
+		if len2&1 != 0 {
+			crc1 = odd.times(crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}
+
+// gf2Matrix is a 32x32 bit matrix over GF(2), one uint32 per column.
+type gf2Matrix [32]uint32
+
+// times multiplies the matrix by a vector.
+func (m *gf2Matrix) times(vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i, vec = i+1, vec>>1 {
+		if vec&1 != 0 {
+			sum ^= m[i]
+		}
+	}
+	return sum
+}
+
+// square sets m to src*src.
+func (m *gf2Matrix) square(src *gf2Matrix) {
+	for i := range m {
+		m[i] = src.times(src[i])
+	}
+}

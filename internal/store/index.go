@@ -275,6 +275,14 @@ type ReaderOptions struct {
 	// uses. Zero selects GOMAXPROCS; 1 forces a serial merge. The merged
 	// file bytes are identical for every worker count.
 	MergeWorkers int
+
+	// MergeCodec selects how Merge encodes each output list: "auto"
+	// (per-list self-tuning from density and length), a codec name
+	// ("varbyte", "gamma", "golomb", "bitpack", "eliasfano") to force
+	// one codec for every list, or empty for "auto". "varbyte" keeps
+	// version-3 files readable by pre-codec builds. Unknown names fail
+	// OpenIndexWith.
+	MergeCodec string
 }
 
 // IndexReader opens a finished index directory for queries.
@@ -303,8 +311,9 @@ type IndexReader struct {
 
 	cache *listCache
 
-	mergeMu      sync.Mutex // serializes Merge invocations
-	mergeWorkers int        // shard-worker bound for Merge (0 = GOMAXPROCS)
+	mergeMu      sync.Mutex        // serializes Merge invocations
+	mergeWorkers int               // shard-worker bound for Merge (0 = GOMAXPROCS)
+	mergeSelect  encoding.Selector // per-list codec choice for Merge output
 
 	mu        sync.Mutex
 	closed    bool
@@ -315,6 +324,7 @@ type IndexReader struct {
 	mergedHits   atomic.Uint64
 	runFallbacks atomic.Uint64
 	listBytes    atomic.Uint64
+	codecDecodes [encoding.NumCodecs]atomic.Uint64 // per-codec list decodes
 }
 
 // runSlot coalesces concurrent opens of one run file: the first
@@ -338,6 +348,14 @@ func OpenIndex(dir string) (*IndexReader, error) {
 // sidecar whose merged file fails validation is remembered (see
 // Verify) and the reader falls back to per-run assembly.
 func OpenIndexWith(dir string, opts ReaderOptions) (*IndexReader, error) {
+	codecName := opts.MergeCodec
+	if codecName == "" {
+		codecName = "auto"
+	}
+	mergeSelect, err := encoding.SelectorFor(codecName)
+	if err != nil {
+		return nil, fmt.Errorf("store: merge codec: %w", err)
+	}
 	f, err := os.Open(filepath.Join(dir, "dictionary.fidc"))
 	if err != nil {
 		return nil, err
@@ -373,6 +391,7 @@ func OpenIndexWith(dir string, opts ReaderOptions) (*IndexReader, error) {
 		docLocs:      locs,
 		cache:        newListCache(opts.CacheBytes),
 		mergeWorkers: opts.MergeWorkers,
+		mergeSelect:  mergeSelect,
 		runFiles:     make(map[string]*runSlot),
 		merged:       merged,
 		mergedErr:    mergedErr,
@@ -523,6 +542,10 @@ type ReaderStats struct {
 	RunFallbacks  uint64 // lookups assembled from per-run partial lists
 	ListBytesRead uint64 // compressed list bytes fetched from disk
 
+	// CodecDecodes counts list decodes by codec name, revealing which
+	// encodings the self-tuning selection actually serves.
+	CodecDecodes map[string]uint64
+
 	CacheHits      uint64
 	CacheMisses    uint64
 	CacheEvictions uint64
@@ -533,11 +556,16 @@ type ReaderStats struct {
 // Stats snapshots reader counters.
 func (r *IndexReader) Stats() ReaderStats {
 	bytes, entries := r.cache.occupancy()
+	codecs := make(map[string]uint64, len(r.codecDecodes))
+	for _, c := range encoding.Codecs() {
+		codecs[c.Name()] = r.codecDecodes[c.ID()].Load()
+	}
 	return ReaderStats{
 		MergedActive:   r.MergedActive(),
 		MergedHits:     r.mergedHits.Load(),
 		RunFallbacks:   r.runFallbacks.Load(),
 		ListBytesRead:  r.listBytes.Load(),
+		CodecDecodes:   codecs,
 		CacheHits:      r.cache.hits.Load(),
 		CacheMisses:    r.cache.misses.Load(),
 		CacheEvictions: r.cache.evictions.Load(),
@@ -650,12 +678,21 @@ func (r *IndexReader) lookupList(cacheFile string, rr *runReader, coll, slot uin
 		return nil, r.readErr(rr.name, err)
 	}
 	r.listBytes.Add(uint64(e.Length))
-	l, err := decodeEntry(blob, e)
+	l, err := r.decodeEntry(blob, e)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", rr.name, err)
 	}
 	r.cache.put(key, l)
 	return l, nil
+}
+
+// decodeEntry is the counted decode path: decodeEntry plus the
+// per-codec telemetry the serve metrics export.
+func (r *IndexReader) decodeEntry(blob []byte, e RunEntry) (*postings.List, error) {
+	if id := e.Codec(); id < encoding.NumCodecs {
+		r.codecDecodes[id].Add(1)
+	}
+	return decodeEntry(blob, e)
 }
 
 // sliceRange narrows a sorted postings list to [minDoc, maxDoc]. The

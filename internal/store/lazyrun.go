@@ -58,7 +58,8 @@ func parseRunReader(f *os.File) (*runReader, error) {
 		return nil, fmt.Errorf("%w: short header read", ErrCorruptRun)
 	}
 	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(hdr[off:]) }
-	if get32(0) != runMagic || get32(4) != runVersion {
+	ver := get32(4)
+	if get32(0) != runMagic || (ver != runVersion && ver != runVersionCodec) {
 		return nil, ErrCorruptRun
 	}
 	n := int(get32(8))
@@ -106,8 +107,8 @@ func parseRunReader(f *os.File) (*runReader, error) {
 		if e.Offset+uint64(e.Length) > blobLen || e.Offset+uint64(e.Length) < e.Offset {
 			return nil, ErrCorruptRun
 		}
-		if uint64(e.Count)*2 > uint64(e.Length) {
-			return nil, ErrCorruptRun
+		if err := checkEntryCodec(ver, e); err != nil {
+			return nil, err
 		}
 		r.entries[i] = e
 		r.lookup[uint64(e.Collection)<<32|uint64(e.Slot)] = i
@@ -156,17 +157,15 @@ func (r *runReader) readBlobRange(off uint64, buf []byte) error {
 
 func (r *runReader) close() error { return r.f.Close() }
 
-// decodeEntry decodes one entry's blob bytes into a postings list.
+// decodeEntry decodes one entry's blob bytes into a postings list,
+// dispatching on the codec ID carried in the entry flags.
 func decodeEntry(blob []byte, e RunEntry) (*postings.List, error) {
-	var (
-		l   postings.List
-		err error
-	)
-	if e.Flags&FlagPositional != 0 {
-		l.DocIDs, l.TFs, l.Positions, _, err = encoding.DecodePositionalPostings(blob, int(e.Count))
-	} else {
-		l.DocIDs, l.TFs, _, err = encoding.DecodePostings(blob, int(e.Count))
+	codec, err := encoding.Lookup(e.Codec())
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptRun, err)
 	}
+	var l postings.List
+	l.DocIDs, l.TFs, l.Positions, err = codec.Decode(blob, int(e.Count), e.Flags&FlagPositional != 0)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,6 +30,11 @@ const (
 	// mergedSidecarVersion gates trust: a sidecar with a different
 	// version is ignored and the reader falls back to per-run assembly.
 	mergedSidecarVersion = 1
+	// mergedSidecarVersionCodec marks a merged file whose entry table
+	// carries per-list codec IDs (run format 4). Written only when at
+	// least one list is non-varbyte, so all-varbyte merges keep the v1
+	// sidecar and stay readable by pre-codec builds.
+	mergedSidecarVersionCodec = 2
 )
 
 // mergedSidecar is the on-disk merged.json shape.
@@ -43,6 +47,8 @@ type mergedSidecar struct {
 	FirstDoc uint32 `json:"first_doc"`
 	LastDoc  uint32 `json:"last_doc"`
 	Runs     int    `json:"runs"`
+	// Codecs counts lists per codec name (version >= 2 only).
+	Codecs map[string]int `json:"codecs,omitempty"`
 }
 
 // mergedGen stamps each loaded merged file so reader-cache keys from a
@@ -74,7 +80,7 @@ func loadMerged(dir string) (*mergedState, error) {
 	if err := json.Unmarshal(raw, &sc); err != nil {
 		return nil, fmt.Errorf("merged sidecar (%v): %w", err, ErrCorruptIndex)
 	}
-	if sc.Version != mergedSidecarVersion {
+	if sc.Version != mergedSidecarVersion && sc.Version != mergedSidecarVersionCodec {
 		// A future format we do not understand: not corruption, just
 		// not trustable. Fall back silently.
 		return nil, nil
@@ -151,7 +157,8 @@ type MergeStats struct {
 	Bytes    int64  // total merged.post size
 	FirstDoc uint32 // global doc range covered
 	LastDoc  uint32
-	Runs     int // source run files combined
+	Runs     int            // source run files combined
+	Codecs   map[string]int // lists per codec the selector chose
 }
 
 // mergeCursor is one run's entries in (collection, slot) order. It is
@@ -265,7 +272,7 @@ func (r *IndexReader) mergeShard(cursors []*mergeCursor, keys []uint64) shardRes
 				partBuf = partBlob // keep the grown buffer for the next read
 			}
 			r.listBytes.Add(uint64(e.Length))
-			part, err := decodeEntry(partBlob, e)
+			part, err := r.decodeEntry(partBlob, e)
 			if err != nil {
 				res.err = fmt.Errorf("store: %s: %w", c.rr.name, err)
 				return res
@@ -280,15 +287,22 @@ func (r *IndexReader) mergeShard(cursors []*mergeCursor, keys []uint64) shardRes
 		}
 		// Encode straight into the shard blob: the list's start offset
 		// is the blob length before the append, so no per-list scratch
-		// copy is needed.
-		start := len(res.blob)
-		var err error
+		// copy is needed. The codec choice is a pure function of the
+		// list's shape, so every worker count yields identical bytes.
+		n := acc.Len()
+		codec := encoding.VarByteCodec
+		if r.mergeSelect != nil {
+			codec = r.mergeSelect(n, acc.DocIDs[0], acc.DocIDs[n-1], acc.Positional())
+		}
+		var accPos [][]uint32
 		if acc.Positional() {
 			flags = FlagPositional
-			res.blob, err = encoding.EncodePositionalPostings(res.blob, acc.DocIDs, acc.TFs, acc.Positions)
-		} else {
-			res.blob, err = encoding.EncodePostings(res.blob, acc.DocIDs, acc.TFs)
+			accPos = acc.Positions
 		}
+		flags |= codecFlags(codec.ID())
+		start := len(res.blob)
+		var err error
+		res.blob, err = codec.Encode(res.blob, acc.DocIDs, acc.TFs, accPos)
 		if err != nil {
 			res.err = fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
 			return res
@@ -394,6 +408,10 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 		blobOff uint64
 		first   = ^uint32(0)
 		last    uint32
+		// blobCRC accumulates while the blob streams out; combined with
+		// the table CRC below, it replaces the old second full read of
+		// merged.post just to checksum it.
+		blobCRC = crc32.NewIEEE()
 	)
 	if len(keys) > 0 {
 		workers := r.mergeWorkers
@@ -456,6 +474,7 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 				aborted.Store(true)
 				continue
 			}
+			blobCRC.Write(res.blob) //nolint:errcheck // hash writes cannot fail
 			for _, e := range res.entries {
 				e.Offset += blobOff
 				entries = append(entries, e)
@@ -491,9 +510,32 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 		}
 		return nil, fmt.Errorf("store: merge produced %d lists for %d keys", len(entries), len(keys))
 	}
+	// Codec histogram decides the format version: any non-varbyte list
+	// forces run format 4 and sidecar version 2; an all-varbyte merge
+	// stays byte-compatible with pre-codec readers.
+	codecCounts := make(map[string]int)
+	hasCodec := false
+	for _, e := range entries {
+		c, err := encoding.Lookup(e.Codec())
+		if err != nil {
+			return nil, fmt.Errorf("store: merge: %w", err)
+		}
+		codecCounts[c.Name()]++
+		if c.ID() != encoding.CodecVarByte {
+			hasCodec = true
+		}
+	}
+	ver := uint32(runVersion)
+	scVer := mergedSidecarVersion
+	var scCodecs map[string]int
+	if hasCodec {
+		ver = runVersionCodec
+		scVer = mergedSidecarVersionCodec
+		scCodecs = codecCounts
+	}
 	hdrTable := make([]byte, runHdrSize+tableSize)
 	binary.LittleEndian.PutUint32(hdrTable[0:], runMagic)
-	binary.LittleEndian.PutUint32(hdrTable[4:], runVersion)
+	binary.LittleEndian.PutUint32(hdrTable[4:], ver)
 	binary.LittleEndian.PutUint32(hdrTable[8:], uint32(len(entries)))
 	binary.LittleEndian.PutUint32(hdrTable[12:], first)
 	binary.LittleEndian.PutUint32(hdrTable[16:], last)
@@ -511,12 +553,12 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 		return nil, err
 	}
 	size := int64(len(hdrTable)) + int64(blobOff)
-	crc := crc32.NewIEEE()
-	if _, err := io.Copy(crc, io.NewSectionReader(f, runHdrSize, size-runHdrSize)); err != nil {
-		return nil, err
-	}
+	// The file CRC covers table + blob. The blob half accumulated while
+	// streaming; crc32Combine splices the table CRC in front of it
+	// without re-reading a byte of merged.post.
+	fileCRC := crc32Combine(crc32.ChecksumIEEE(hdrTable[runHdrSize:]), blobCRC.Sum32(), int64(blobOff))
 	var crcBytes [4]byte
-	binary.LittleEndian.PutUint32(crcBytes[:], crc.Sum32())
+	binary.LittleEndian.PutUint32(crcBytes[:], fileCRC)
 	if _, err := f.WriteAt(crcBytes[:], 20); err != nil {
 		return nil, err
 	}
@@ -535,14 +577,15 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 		return nil, err
 	}
 	sc := mergedSidecar{
-		Version:  mergedSidecarVersion,
+		Version:  scVer,
 		File:     mergedFileName,
 		Size:     size,
-		CRC32:    crc.Sum32(),
+		CRC32:    fileCRC,
 		Lists:    len(entries),
 		FirstDoc: first,
 		LastDoc:  last,
 		Runs:     len(metas),
+		Codecs:   scCodecs,
 	}
 	if err := writeSidecar(r.dir, sc); err != nil {
 		return nil, err
@@ -557,6 +600,7 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 		FirstDoc: first,
 		LastDoc:  last,
 		Runs:     len(metas),
+		Codecs:   codecCounts,
 	}
 	m, err := loadMerged(r.dir)
 	if err != nil {

@@ -31,15 +31,29 @@ import (
 const (
 	runMagic   = 0x4652494e // "FRIN"
 	runVersion = 3
-	runHdrSize = 24
-	entrySize  = 28
+	// runVersionCodec marks a run whose entries may carry a non-varbyte
+	// codec ID in their flags. Files where every list is varbyte are
+	// still written as version 3, byte-identical to pre-codec builds,
+	// so old readers only fail (with ErrCorruptRun) on files they truly
+	// cannot decode.
+	runVersionCodec = 4
+	runHdrSize      = 24
+	entrySize       = 28
 )
 
-// Entry flags.
+// Entry flags. Bits 8-15 hold the list's encoding.CodecID; a zero
+// codec field is varbyte, which is why version-3 files (no codec
+// bits) parse identically through the registry.
 const (
 	// FlagPositional marks a list encoded with in-document positions.
 	FlagPositional uint32 = 1 << 0
+
+	codecShift        = 8
+	codecMask  uint32 = 0xff << codecShift
 )
+
+// codecFlags returns the flag bits encoding the codec ID.
+func codecFlags(id encoding.CodecID) uint32 { return uint32(id) << codecShift }
 
 // RunEntry locates one partial postings list inside a run file.
 type RunEntry struct {
@@ -51,57 +65,78 @@ type RunEntry struct {
 	Flags      uint32
 }
 
-// RunBuilder accumulates one run's partial postings lists.
-type RunBuilder struct {
-	entries []RunEntry
-	blob    []byte
+// Codec extracts the entry's codec ID from its flags.
+func (e RunEntry) Codec() encoding.CodecID {
+	return encoding.CodecID((e.Flags & codecMask) >> codecShift)
 }
 
-// NewRunBuilder returns an empty builder.
+// RunBuilder accumulates one run's partial postings lists.
+type RunBuilder struct {
+	entries  []RunEntry
+	blob     []byte
+	sel      encoding.Selector
+	hasCodec bool // any entry uses a non-varbyte codec -> version 4
+}
+
+// NewRunBuilder returns an empty builder writing the legacy varbyte
+// format (version-3 files, byte-identical to pre-codec builds).
 func NewRunBuilder() *RunBuilder { return &RunBuilder{} }
 
-// AddList appends one term's partial list (parallel docID/tf slices,
-// strictly ascending docIDs). Empty lists are skipped.
-func (b *RunBuilder) AddList(collection int, slot int32, docIDs, tfs []uint32) error {
-	if len(docIDs) == 0 {
+// NewRunBuilderCodec returns a builder that picks each list's codec
+// with sel. The selector must be a pure function of its arguments so
+// concurrent builders make identical choices. A nil sel behaves like
+// NewRunBuilder.
+func NewRunBuilderCodec(sel encoding.Selector) *RunBuilder {
+	return &RunBuilder{sel: sel}
+}
+
+// addList is the shared append path: select a codec, encode, record
+// the codec ID in the entry flags.
+func (b *RunBuilder) addList(collection int, slot int32, docIDs, tfs []uint32, positions [][]uint32) error {
+	n := len(docIDs)
+	if n == 0 {
 		return nil
 	}
+	codec := encoding.VarByteCodec
+	if b.sel != nil {
+		codec = b.sel(n, docIDs[0], docIDs[n-1], positions != nil)
+	}
 	off := uint64(len(b.blob))
-	blob, err := encoding.EncodePostings(b.blob, docIDs, tfs)
+	blob, err := codec.Encode(b.blob, docIDs, tfs, positions)
 	if err != nil {
 		return fmt.Errorf("store: list (%d,%d): %w", collection, slot, err)
 	}
 	b.blob = blob
+	flags := codecFlags(codec.ID())
+	if positions != nil {
+		flags |= FlagPositional
+	}
+	if codec.ID() != encoding.CodecVarByte {
+		b.hasCodec = true
+	}
 	b.entries = append(b.entries, RunEntry{
 		Collection: uint32(collection),
 		Slot:       uint32(slot),
 		Offset:     off,
 		Length:     uint32(uint64(len(b.blob)) - off),
-		Count:      uint32(len(docIDs)),
+		Count:      uint32(n),
+		Flags:      flags,
 	})
 	return nil
 }
 
+// AddList appends one term's partial list (parallel docID/tf slices,
+// strictly ascending docIDs). Empty lists are skipped.
+func (b *RunBuilder) AddList(collection int, slot int32, docIDs, tfs []uint32) error {
+	return b.addList(collection, slot, docIDs, tfs, nil)
+}
+
 // AddPositionalList appends one term's positional partial list.
 func (b *RunBuilder) AddPositionalList(collection int, slot int32, docIDs, tfs []uint32, positions [][]uint32) error {
-	if len(docIDs) == 0 {
-		return nil
+	if len(docIDs) > 0 && positions == nil {
+		positions = make([][]uint32, len(docIDs))
 	}
-	off := uint64(len(b.blob))
-	blob, err := encoding.EncodePositionalPostings(b.blob, docIDs, tfs, positions)
-	if err != nil {
-		return fmt.Errorf("store: positional list (%d,%d): %w", collection, slot, err)
-	}
-	b.blob = blob
-	b.entries = append(b.entries, RunEntry{
-		Collection: uint32(collection),
-		Slot:       uint32(slot),
-		Offset:     off,
-		Length:     uint32(uint64(len(b.blob)) - off),
-		Count:      uint32(len(docIDs)),
-		Flags:      FlagPositional,
-	})
-	return nil
+	return b.addList(collection, slot, docIDs, tfs, positions)
 }
 
 // Lists reports how many lists have been added.
@@ -116,8 +151,12 @@ func (b *RunBuilder) Finalize(firstDoc, lastDoc uint32) []byte {
 		binary.LittleEndian.PutUint32(u32[:], v)
 		out = append(out, u32[:]...)
 	}
+	ver := uint32(runVersion)
+	if b.hasCodec {
+		ver = runVersionCodec
+	}
 	put32(runMagic)
-	put32(runVersion)
+	put32(ver)
 	put32(uint32(len(b.entries)))
 	put32(firstDoc)
 	put32(lastDoc)
@@ -157,7 +196,8 @@ func ParseRun(data []byte) (*Run, error) {
 		return nil, ErrCorruptRun
 	}
 	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
-	if get32(0) != runMagic || get32(4) != runVersion {
+	ver := get32(4)
+	if get32(0) != runMagic || (ver != runVersion && ver != runVersionCodec) {
 		return nil, ErrCorruptRun
 	}
 	if crc32.ChecksumIEEE(data[runHdrSize:]) != get32(20) {
@@ -190,11 +230,8 @@ func ParseRun(data []byte) (*Run, error) {
 		if e.Offset+uint64(e.Length) > uint64(len(r.blob)) {
 			return nil, ErrCorruptRun
 		}
-		// Every posting takes at least two encoded bytes (gap + tf),
-		// so a count above Length/2 cannot be real — reject before a
-		// decoder trusts it for allocation.
-		if uint64(e.Count)*2 > uint64(e.Length) {
-			return nil, ErrCorruptRun
+		if err := checkEntryCodec(ver, e); err != nil {
+			return nil, err
 		}
 		r.Entries[i] = e
 		r.lookup[uint64(e.Collection)<<32|uint64(e.Slot)] = i
@@ -220,15 +257,33 @@ func (r *Run) PositionalList(collection int, slot int32) (docIDs, tfs []uint32, 
 	}
 	e := r.Entries[i]
 	blob := r.blob[e.Offset : e.Offset+uint64(e.Length)]
-	if e.Flags&FlagPositional != 0 {
-		docIDs, tfs, positions, _, err = encoding.DecodePositionalPostings(blob, int(e.Count))
-	} else {
-		docIDs, tfs, _, err = encoding.DecodePostings(blob, int(e.Count))
+	codec, err := encoding.Lookup(e.Codec())
+	if err != nil {
+		return nil, nil, nil, false, fmt.Errorf("%w: %v", ErrCorruptRun, err)
 	}
+	docIDs, tfs, positions, err = codec.Decode(blob, int(e.Count), e.Flags&FlagPositional != 0)
 	if err != nil {
 		return nil, nil, nil, false, fmt.Errorf("store: %w", err)
 	}
 	return docIDs, tfs, positions, true, nil
+}
+
+// checkEntryCodec validates an untrusted entry's codec bits for the
+// given run version: version-3 entries must carry none, the codec must
+// be registered, and Count must fit the codec's guaranteed minimum
+// bytes-per-posting before any decoder trusts it for allocation.
+func checkEntryCodec(ver uint32, e RunEntry) error {
+	if ver == runVersion && e.Flags&codecMask != 0 {
+		return fmt.Errorf("%w: codec bits in version-3 entry", ErrCorruptRun)
+	}
+	codec, err := encoding.Lookup(e.Codec())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrCorruptRun, err)
+	}
+	if e.Count > 0 && (e.Length == 0 || codec.MinBytes(int(e.Count)) > int(e.Length)) {
+		return fmt.Errorf("%w: count exceeds list bytes", ErrCorruptRun)
+	}
+	return nil
 }
 
 // BlobSize reports the compressed postings bytes in the run.

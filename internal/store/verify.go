@@ -2,6 +2,8 @@ package store
 
 import (
 	"fmt"
+
+	"fastinvert/internal/encoding"
 )
 
 // VerifyReport summarizes an index integrity check.
@@ -18,6 +20,9 @@ type VerifyReport struct {
 	// tampered merged file fails Verify with ErrCorruptIndex instead.
 	MergedPresent bool
 	MergedLists   int // lists in the validated merged file, 0 when absent
+	// MergedCodecs counts merged lists per codec name, nil when no
+	// merged file is present.
+	MergedCodecs map[string]int
 }
 
 // Verify checks the structural integrity of a built index directory:
@@ -119,6 +124,7 @@ func Verify(dir string) (*VerifyReport, error) {
 			return rep, fmt.Errorf("store: merged file has %d lists, runs have %d keys: %w",
 				len(m.rr.entries), len(counts), ErrCorruptIndex)
 		}
+		rep.MergedCodecs = make(map[string]int)
 		for _, e := range m.rr.entries {
 			key := uint64(e.Collection)<<32 | uint64(e.Slot)
 			if counts[key] != int64(e.Count) {
@@ -132,6 +138,9 @@ func Verify(dir string) (*VerifyReport, error) {
 			l, err := decodeEntry(blob, e)
 			if err != nil {
 				return rep, fmt.Errorf("store: merged list (%d,%d): %v", e.Collection, e.Slot, err)
+			}
+			if c, err := encoding.Lookup(e.Codec()); err == nil {
+				rep.MergedCodecs[c.Name()]++
 			}
 			for j := 1; j < len(l.DocIDs); j++ {
 				if l.DocIDs[j] <= l.DocIDs[j-1] {

@@ -189,25 +189,34 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.Comparisons = append(res.Comparisons, cmp)
 	}
 
-	// Merged-path parity: run the post-processing merge, re-verify the
-	// structure (which now validates the merged file against the runs),
-	// then re-read every term through the merged file and demand it
-	// matches the per-run assembly read above.
-	mcmp := Comparison{Name: "merged"}
-	mergedLists, err := mergeAndReadBack(outDir)
-	mcmp.Err = err
-	if err == nil {
-		mcmp.Diff = DiffLists("merged", mergedLists, pipeline, cfg.MaxDiffs)
+	// Merged-path parity, run twice with different codec selections:
+	// first a forced-varbyte merge (the v1-compatible format), then a
+	// self-tuned merge where the selector picks a codec per list. Each
+	// merge re-verifies the structure (which now validates the merged
+	// file against the runs) and re-reads every term through the merged
+	// file; both read-backs must match the per-run assembly read above,
+	// proving term-by-term parity between any two codec selections.
+	for _, mc := range []struct{ name, codec string }{
+		{"merged-varbyte", "varbyte"},
+		{"merged", "auto"},
+	} {
+		mcmp := Comparison{Name: mc.name}
+		mergedLists, err := mergeAndReadBack(outDir, mc.codec)
+		mcmp.Err = err
+		if err == nil {
+			mcmp.Diff = DiffLists(mc.name, mergedLists, pipeline, cfg.MaxDiffs)
+		}
+		res.Comparisons = append(res.Comparisons, mcmp)
 	}
-	res.Comparisons = append(res.Comparisons, mcmp)
 	return res, nil
 }
 
-// mergeAndReadBack merges the index, checks the merged file is both
+// mergeAndReadBack merges the index with the given codec selection
+// ("auto" or a forced codec name), checks the merged file is both
 // structurally valid and actually served, and reads every term back
 // through it.
-func mergeAndReadBack(dir string) (map[string]*postings.List, error) {
-	idx, err := store.OpenIndex(dir)
+func mergeAndReadBack(dir, codec string) (map[string]*postings.List, error) {
+	idx, err := store.OpenIndexWith(dir, store.ReaderOptions{MergeCodec: codec})
 	if err != nil {
 		return nil, err
 	}
