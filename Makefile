@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check lint smoke bench bench-smoke codec-bench microbench fuzz differential experiments merge-bench tools clean
+.PHONY: all build test race check lint smoke bench bench-smoke codec-bench microbench fuzz differential differential-live experiments merge-bench tools clean
 
 all: build test
 
@@ -87,6 +87,8 @@ fuzz:
 	$(GO) test ./internal/store/ -fuzz FuzzParseDocTable -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzParseDocMap -fuzztime 30s
 	$(GO) test ./internal/search/ -fuzz FuzzSearchQueries -fuzztime 30s
+	$(GO) test ./internal/segment/ -fuzz FuzzSegmentManifest -fuzztime 30s
+	$(GO) test ./internal/segment/ -fuzz FuzzTombstoneBitmap -fuzztime 30s
 
 # Tier-2 differential correctness sweep: the pipelined build vs the
 # reference indexer and all four baselines across 10 seeded corpora —
@@ -99,6 +101,17 @@ fuzz:
 differential:
 	$(GO) test ./internal/verify/ -race -count=1 -args -seeds 10
 	$(GO) run ./cmd/hetverify -seeds 10 -chaos
+
+# Interleaved live-index differential sweep: seeded insert/delete/
+# query/seal/compact schedules against the LSM segment manager, diffed
+# term-for-term against a serial from-scratch rebuild at every seal and
+# compaction boundary (plus end-of-schedule and close/reopen), with the
+# segment package's own concurrency tests under the race detector.
+differential-live:
+	$(GO) test ./internal/segment/ -race -count=1
+	$(GO) test ./internal/verify/ -race -count=1 -run 'TestRunLive'
+	$(GO) run ./cmd/hetverify -live -seeds 10
+	$(GO) run ./cmd/hetverify -live -seeds 5 -positional
 
 # Query-latency comparison before/after the post-processing merge
 # (§III.F): sweeps every dictionary term through per-run assembly, then

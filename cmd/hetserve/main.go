@@ -2,6 +2,12 @@
 //
 //	hetserve -index ./index -addr :8080
 //
+// With -live the directory holds an LSM-style live index (created if
+// empty) that accepts documents and deletions over HTTP while serving
+// queries:
+//
+//	hetserve -live -index ./segments -addr :8080
+//
 // Endpoints:
 //
 //	/search?q=parallel+inverted&mode=topk&k=10   ranked / Boolean / phrase queries
@@ -13,8 +19,16 @@
 //	/debug/vars                                  expvar + QPS, p50/p99 latency, cache + pool stats
 //	/debug/pprof/                                net/http/pprof (behind -pprof)
 //
+// Live mode adds (POST only):
+//
+//	/ingest          body = document text; returns the assigned docID
+//	/delete?doc=42   tombstone one document (idempotent; 404 if never assigned)
+//	/seal            force the memtable into an on-disk segment
+//	/compact         fold all segments into one, purging tombstones
+//
 // Queries execute on a bounded worker pool under a per-query deadline,
-// reading postings through a sharded LRU cache; see internal/serve.
+// reading postings through a sharded LRU cache; see internal/serve and
+// internal/segment.
 package main
 
 import (
@@ -28,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"fastinvert/internal/segment"
 	"fastinvert/internal/serve"
 	"fastinvert/internal/store"
 )
@@ -41,6 +56,12 @@ func main() {
 		workers  = flag.Int("workers", 0, "query worker pool size (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 2*time.Second, "per-query deadline")
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/ handlers")
+
+		live       = flag.Bool("live", false, "serve a live LSM-style index from -index (created if empty)")
+		positional = flag.Bool("positional", false, "live mode: index token positions (phrase queries)")
+		sealEvery  = flag.Int("seal-every", 10000, "live mode: auto-seal the memtable every N documents (0 = manual)")
+		compactAt  = flag.Int("compact-at", 4, "live mode: background-compact at N segments (0 = manual)")
+		codec      = flag.String("codec", "auto", "live mode: postings codec for sealed segments")
 	)
 	flag.Parse()
 	if *indexDir == "" {
@@ -49,27 +70,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	idx, err := store.OpenIndex(*indexDir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hetserve: open index: %v\n", err)
-		os.Exit(1)
-	}
-	defer idx.Close()
-
-	srv := serve.New(idx, serve.Config{
+	cfg := serve.Config{
 		CacheBytes:   *cacheMB << 20,
 		CacheShards:  *shards,
 		Workers:      *workers,
 		QueryTimeout: *timeout,
 		EnablePprof:  *pprofOn,
-	})
+	}
+	var srv *serve.Server
+	if *live {
+		mgr, err := segment.Open(*indexDir, segment.Options{
+			Codec:      *codec,
+			Positional: *positional,
+			SealEvery:  *sealEvery,
+			CompactAt:  *compactAt,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetserve: open live index: %v\n", err)
+			os.Exit(1)
+		}
+		defer mgr.Close() // seals the memtable so every ingested doc persists
+		srv = serve.NewLive(mgr, cfg)
+		st := mgr.Stats()
+		fmt.Printf("hetserve: live index, %d docs in %d segments — listening on %s\n",
+			mgr.LiveDocs(), st.Segments, *addr)
+	} else {
+		idx, err := store.OpenIndex(*indexDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetserve: open index: %v\n", err)
+			os.Exit(1)
+		}
+		defer idx.Close()
+		srv = serve.New(idx, cfg)
+		fmt.Printf("hetserve: %d terms, %d runs — listening on %s\n",
+			idx.Terms(), len(idx.Runs()), *addr)
+	}
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Printf("hetserve: %d terms, %d runs — listening on %s\n",
-		idx.Terms(), len(idx.Runs()), *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

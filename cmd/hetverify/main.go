@@ -7,9 +7,16 @@
 // build must end in a verified-correct index or a typed error with no
 // leaked goroutines.
 //
+// With -live, each seed instead drives the interleaved live-index
+// harness: a seeded schedule of inserts, deletes, queries, seals and
+// compactions against the LSM-style segment manager, diffed
+// term-for-term against a serial from-scratch rebuild of the surviving
+// documents at every seal and compaction boundary, at the end of the
+// schedule, and again after a close/reopen cycle.
+//
 // Usage:
 //
-//	hetverify -seeds 10 -start 1000 [-positional] [-chaos] [-v]
+//	hetverify -seeds 10 -start 1000 [-positional] [-chaos] [-live] [-v]
 //
 // Any failure prints its seed — rerun with -start <seed> -seeds 1 -v
 // to reproduce deterministically.
@@ -33,9 +40,16 @@ func main() {
 		start      = flag.Int64("start", 1000, "first seed")
 		positional = flag.Bool("positional", false, "build positional postings (pins positions against the reference)")
 		chaos      = flag.Bool("chaos", false, "also run the fault-injection matrix per seed")
+		live       = flag.Bool("live", false, "run the interleaved live-index differential harness instead of the batch one")
+		liveOps    = flag.Int("live-ops", 400, "operations per live schedule")
 		verbose    = flag.Bool("v", false, "print every comparison, not just failures")
 	)
 	flag.Parse()
+
+	if *live {
+		runLive(*seeds, *start, *liveOps, *positional, *verbose)
+		return
+	}
 
 	ctx := context.Background()
 	failures := 0
@@ -78,6 +92,37 @@ func main() {
 	}
 	fmt.Printf("OK: %d seeds (chaos=%v, positional=%v) in %s\n",
 		*seeds, *chaos, *positional, time.Since(t0).Round(time.Millisecond))
+}
+
+// runLive sweeps the interleaved live-index harness across seeds.
+func runLive(seeds int, start int64, ops int, positional, verbose bool) {
+	ctx := context.Background()
+	failures := 0
+	t0 := time.Now()
+	for i := 0; i < seeds; i++ {
+		seed := start + int64(i)
+		res, err := verify.RunLive(ctx, verify.LiveConfig{
+			Seed:       seed,
+			Ops:        ops,
+			Positional: positional,
+		})
+		if err != nil {
+			log.Printf("seed %d: live harness error: %v", seed, err)
+			failures++
+			continue
+		}
+		if !res.OK() {
+			log.Printf("FAIL %s", res.Summary())
+			failures++
+		} else if verbose {
+			fmt.Println(res.Summary())
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d failure(s) across %d live seeds in %s", failures, seeds, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("OK: %d live seeds (%d ops each, positional=%v) in %s\n",
+		seeds, ops, positional, time.Since(t0).Round(time.Millisecond))
 }
 
 // chaosMatrix is the per-seed fault set: every kind, the stage faults

@@ -253,6 +253,16 @@ func (ix *Indexer) ResetRunPostings() {
 	}
 }
 
+// Lookup resolves a stripped term to its postings slot within a
+// collection, or -1 when the term (or collection) is unknown.
+func (ix *Indexer) Lookup(coll int, stripped []byte) int32 {
+	t := ix.trees[coll]
+	if t == nil {
+		return -1
+	}
+	return t.Lookup(stripped)
+}
+
 // WalkDictionary walks one collection's B-tree in key order.
 func (ix *Indexer) WalkDictionary(coll int, fn func(stripped []byte, slot int32) bool) {
 	t := ix.trees[coll]

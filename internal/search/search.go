@@ -45,6 +45,14 @@ type PostingsSource interface {
 	Dictionary() []store.DictEntry
 }
 
+// LiveSource is the optional extension a mutable index implements
+// (internal/segment's manager and serve's live wrapper): LiveDocs is
+// consulted on every NumDocs call, so IDF tracks the collection as
+// documents are added and deleted instead of freezing at construction.
+type LiveSource interface {
+	LiveDocs() int64
+}
+
 // Searcher evaluates queries against one opened index.
 //
 // Concurrency: a Searcher is immutable after construction and safe for
@@ -94,8 +102,15 @@ func NewWithSource(idx PostingsSource) *Searcher {
 // normalization (requires an index written with document lengths).
 func (s *Searcher) UsesBM25() bool { return s.avgLen > 0 }
 
-// NumDocs reports the collection size used for IDF.
-func (s *Searcher) NumDocs() int64 { return s.numDocs }
+// NumDocs reports the collection size used for IDF. Static indexes
+// answer from the docID-range map captured at construction; a source
+// implementing LiveSource is consulted on every call.
+func (s *Searcher) NumDocs() int64 {
+	if ls, ok := s.idx.(LiveSource); ok {
+		return ls.LiveDocs()
+	}
+	return s.numDocs
+}
 
 // Normalize applies the indexing pipeline's normalization to a query
 // word; stop reports whether the word is a stop word (and therefore
@@ -344,6 +359,7 @@ func (s *Searcher) TopKCtx(ctx context.Context, k int, words ...string) ([]Score
 		return nil, ErrInvalidK
 	}
 	scores := map[uint32]float64{}
+	numDocs := s.NumDocs()
 	for _, w := range words {
 		l, err := s.PostingsCtx(ctx, w)
 		if err != nil {
@@ -354,7 +370,7 @@ func (s *Searcher) TopKCtx(ctx context.Context, k int, words ...string) ([]Score
 		}
 		df := float64(l.Len())
 		if s.UsesBM25() {
-			idf := math.Log(1 + (float64(s.numDocs)-df+0.5)/(df+0.5))
+			idf := math.Log(1 + (float64(numDocs)-df+0.5)/(df+0.5))
 			for i, doc := range l.DocIDs {
 				tf := float64(l.TFs[i])
 				norm := 1 - bm25B
@@ -367,7 +383,7 @@ func (s *Searcher) TopKCtx(ctx context.Context, k int, words ...string) ([]Score
 			}
 			continue
 		}
-		idf := math.Log(1 + float64(s.numDocs)/df)
+		idf := math.Log(1 + float64(numDocs)/df)
 		for i, doc := range l.DocIDs {
 			scores[doc] += float64(l.TFs[i]) * idf
 		}

@@ -1,0 +1,260 @@
+package segment
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"fastinvert/internal/store"
+)
+
+// compactPendingName is the merge output staged inside the directory
+// until the commit renames it to its final segment name. A leftover
+// from a crashed compaction is unreferenced by the manifest and simply
+// overwritten by the next one.
+const compactPendingName = "compact.pending"
+
+// Compact folds every sealed segment into one, dropping tombstoned
+// postings, via the store package's sharded parallel merge. The long
+// phase — reading, remapping, re-encoding — runs without any manager
+// lock, against a retained view and a tombstone snapshot; only the
+// final commit takes the write lock. Seals may land concurrently:
+// their segments survive untouched next to the compacted one.
+//
+// A no-op when there is at most one segment and nothing to purge.
+func (m *Manager) Compact(ctx context.Context) error {
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+	if m.closed.Load() {
+		return store.ErrClosed
+	}
+	v, err := m.acquire()
+	if err != nil {
+		return err
+	}
+	defer v.release()
+	segs := v.segs
+	dead := m.tomb.Load()
+	if len(segs) == 0 || (len(segs) == 1 && !anyDeadIn(segs[0].meta, dead)) {
+		return nil
+	}
+
+	// Union dictionary: fresh slots assigned per collection in term
+	// order, so the compacted segment's table is sorted and dense.
+	union, remaps := unionDict(segs)
+	sources := make([]store.CompactSource, len(segs))
+	for i, s := range segs {
+		sources[i] = store.CompactSource{
+			Path:  filepath.Join(m.dir, s.meta.File),
+			Remap: remapFunc(remaps[i]),
+		}
+	}
+	tmp := filepath.Join(m.dir, compactPendingName)
+	stats, err := store.CompactRuns(ctx, sources, tmp, store.CompactOptions{
+		Codec:   m.opts.Codec,
+		Workers: m.opts.CompactWorkers,
+		Drop:    dead.has,
+	})
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	// Keep only dictionary terms whose remapped list survived the
+	// purge — fully-deleted terms vanish from both table and dict.
+	rf, err := store.OpenRunFile(tmp)
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	filtered := union[:0]
+	for _, e := range union {
+		if _, ok := rf.Find(uint32(e.Collection), uint32(e.Slot)); ok {
+			filtered = append(filtered, e)
+		}
+	}
+	rf.Close()
+
+	// Commit: brief, under the write lock, no heavy I/O.
+	m.writeMu.Lock()
+	defer m.writeMu.Unlock()
+	if m.closed.Load() {
+		os.Remove(tmp)
+		return store.ErrClosed
+	}
+	id := m.man.NextSeg
+	meta := SegmentMeta{
+		ID:       id,
+		File:     segFileName(id),
+		Dict:     dictFileName(id),
+		FirstDoc: segs[0].meta.FirstDoc,
+		LastDoc:  segs[len(segs)-1].meta.LastDoc,
+		Lists:    stats.Lists,
+		Bytes:    stats.Bytes,
+	}
+	meta.Docs = meta.LastDoc - meta.FirstDoc + 1
+	if err := os.Rename(tmp, filepath.Join(m.dir, meta.File)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := writeDictFile(m.dir, meta.Dict, filtered); err != nil {
+		os.Remove(filepath.Join(m.dir, meta.File))
+		return err
+	}
+	seg, err := openSegment(m.dir, meta)
+	if err != nil {
+		os.Remove(filepath.Join(m.dir, meta.File))
+		os.Remove(filepath.Join(m.dir, meta.Dict))
+		return err
+	}
+	inputs := make(map[uint64]bool, len(segs))
+	for _, s := range segs {
+		inputs[s.meta.ID] = true
+	}
+	newMetas := []SegmentMeta{meta}
+	for _, sm := range m.man.Segments {
+		if !inputs[sm.ID] {
+			newMetas = append(newMetas, sm)
+		}
+	}
+	sort.Slice(newMetas, func(i, j int) bool { return newMetas[i].FirstDoc < newMetas[j].FirstDoc })
+	newMan := &Manifest{
+		Version:  manifestVersion,
+		NextDoc:  m.man.NextDoc,
+		NextSeg:  id + 1,
+		Purged:   m.man.Purged,
+		Segments: newMetas,
+	}
+	if err := newMan.save(m.dir); err != nil {
+		seg.run.Close()
+		os.Remove(filepath.Join(m.dir, meta.File))
+		os.Remove(filepath.Join(m.dir, meta.Dict))
+		return err
+	}
+	// Tombstones physically purged from the compacted range come off
+	// the bitmap; deletions that raced in after the snapshot stay.
+	cur := m.tomb.Load()
+	nb := cur.without(dead, meta.FirstDoc, meta.LastDoc)
+	newMan.Purged += cur.deleted - nb.deleted
+	if err := saveTombstones(m.dir, nb, newMan.NextDoc); err != nil {
+		return err
+	}
+	m.tomb.Store(nb)
+	m.purged.Store(newMan.Purged)
+
+	gen := m.gen.Add(1)
+	m.mu.Lock()
+	old := m.cur
+	m.man = newMan
+	newSegs := []*segment{seg}
+	for _, s := range old.segs {
+		if !inputs[s.meta.ID] {
+			newSegs = append(newSegs, s)
+		}
+	}
+	sort.Slice(newSegs, func(i, j int) bool {
+		return newSegs[i].meta.FirstDoc < newSegs[j].meta.FirstDoc
+	})
+	m.cur = newView(newSegs, m.mem, gen)
+	m.mu.Unlock()
+	old.release()
+	m.compactions.Add(1)
+
+	// Unlink the replaced files: in-flight queries hold the open
+	// descriptors, so their reads complete against the unlinked inodes.
+	for _, s := range segs {
+		os.Remove(filepath.Join(m.dir, s.meta.File))
+		os.Remove(filepath.Join(m.dir, s.meta.Dict))
+	}
+	return nil
+}
+
+// anyDeadIn reports whether the bitmap tombstones any doc in the
+// segment's range.
+func anyDeadIn(meta SegmentMeta, dead *bitmap) bool {
+	if dead == nil || dead.deleted == 0 {
+		return false
+	}
+	for d := meta.FirstDoc; d <= meta.LastDoc; d++ {
+		if dead.has(d) {
+			return true
+		}
+		if d == ^uint32(0) {
+			break
+		}
+	}
+	return false
+}
+
+// unionDict merges the segments' sorted dictionaries into one
+// deduplicated dictionary with fresh dense slots (per collection, in
+// term order) and returns, per segment, the mapping from its local
+// (collection, slot) keys onto the union slots.
+func unionDict(segs []*segment) ([]store.DictEntry, []map[uint64]uint32) {
+	total := 0
+	for _, s := range segs {
+		total += len(s.dict)
+	}
+	all := make([]store.DictEntry, 0, total)
+	for _, s := range segs {
+		all = append(all, s.dict...)
+	}
+	store.SortDictEntries(all)
+
+	type termKey struct {
+		coll int32
+		term string
+	}
+	slotOf := make(map[termKey]uint32, len(all))
+	union := make([]store.DictEntry, 0, len(all))
+	curColl := int32(-1)
+	var next uint32
+	for i, e := range all {
+		if i > 0 && all[i-1].Collection == e.Collection && all[i-1].Term == e.Term {
+			continue
+		}
+		if e.Collection != curColl {
+			curColl = e.Collection
+			next = 0
+		}
+		slotOf[termKey{e.Collection, e.Term}] = next
+		union = append(union, store.DictEntry{
+			Term:       e.Term,
+			Collection: e.Collection,
+			Slot:       int32(next),
+		})
+		next++
+	}
+
+	remaps := make([]map[uint64]uint32, len(segs))
+	for i, s := range segs {
+		mp := make(map[uint64]uint32, len(s.dict))
+		for _, e := range s.dict {
+			mp[slotKey(uint32(e.Collection), uint32(e.Slot))] =
+				slotOf[termKey{e.Collection, e.Term}]
+		}
+		remaps[i] = mp
+	}
+	return union, remaps
+}
+
+func slotKey(coll, slot uint32) uint64 { return uint64(coll)<<32 | uint64(slot) }
+
+// remapFunc adapts a remap table to store.CompactSource's callback.
+func remapFunc(mp map[uint64]uint32) func(coll, slot uint32) (uint32, bool) {
+	return func(coll, slot uint32) (uint32, bool) {
+		n, ok := mp[slotKey(coll, slot)]
+		return n, ok
+	}
+}
+
+// writeDictFile atomically writes a segment dictionary.
+func writeDictFile(dir, name string, entries []store.DictEntry) error {
+	var buf bytes.Buffer
+	if err := store.WriteDictionary(&buf, entries); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, name), buf.Bytes())
+}

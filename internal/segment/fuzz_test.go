@@ -1,0 +1,89 @@
+package segment
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"fastinvert/internal/store"
+)
+
+// FuzzSegmentManifest feeds arbitrary bytes to the manifest parser:
+// whatever the input, it must return a validated manifest or an error
+// wrapping store.ErrCorruptIndex — never panic, and never accept a
+// manifest that violates the invariants the manager relies on.
+func FuzzSegmentManifest(f *testing.F) {
+	valid, _ := json.Marshal(&Manifest{
+		Version: manifestVersion,
+		NextDoc: 20,
+		NextSeg: 3,
+		Segments: []SegmentMeta{
+			{ID: 0, File: "seg-000000.post", Dict: "seg-000000.dict",
+				FirstDoc: 0, LastDoc: 9, Docs: 10, Lists: 4, Bytes: 128},
+			{ID: 2, File: "seg-000002.post", Dict: "seg-000002.dict",
+				FirstDoc: 10, LastDoc: 19, Docs: 10, Lists: 2, Bytes: 64},
+		},
+	})
+	f.Add(valid)
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"next_doc":5,"next_seg":1,"segments":[{"id":0,"file":"../evil","dict":"d","first_doc":0,"last_doc":4,"docs":5}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := parseManifest(raw)
+		if err != nil {
+			if !errors.Is(err, store.ErrCorruptIndex) {
+				t.Fatalf("error does not wrap ErrCorruptIndex: %v", err)
+			}
+			return
+		}
+		// Accepted manifests must satisfy every invariant the manager
+		// assumes without re-checking.
+		if m.Version != manifestVersion || m.Purged > m.NextDoc {
+			t.Fatalf("accepted invalid manifest: %+v", m)
+		}
+		prev := int64(-1)
+		for _, s := range m.Segments {
+			if s.File == "" || s.Dict == "" || s.ID >= m.NextSeg ||
+				s.FirstDoc > s.LastDoc || int64(s.FirstDoc) <= prev ||
+				s.LastDoc >= m.NextDoc || s.Docs != s.LastDoc-s.FirstDoc+1 {
+				t.Fatalf("accepted invalid segment meta: %+v", s)
+			}
+			prev = int64(s.LastDoc)
+		}
+	})
+}
+
+// FuzzTombstoneBitmap feeds arbitrary bytes to the tombstone parser.
+// Corrupt inputs must yield ErrCorruptIndex without panicking or
+// allocating beyond the input size; accepted inputs must round-trip
+// bit-exactly through marshal.
+func FuzzTombstoneBitmap(f *testing.F) {
+	b := (&bitmap{}).grown(21)
+	for _, d := range []uint32{0, 7, 20} {
+		b = b.withDoc(d, 21)
+	}
+	f.Add(marshalTombstones(b, 21))
+	f.Add(marshalTombstones(&bitmap{}, 0))
+	f.Add([]byte("FITS"))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		bm, err := parseTombstones(raw)
+		if err != nil {
+			if !errors.Is(err, store.ErrCorruptIndex) {
+				t.Fatalf("error does not wrap ErrCorruptIndex: %v", err)
+			}
+			return
+		}
+		// The word slice is bounded by the payload actually present.
+		if len(bm.bits)*8 > len(raw)+7 {
+			t.Fatalf("allocated %d bitmap bytes from %d input bytes", len(bm.bits)*8, len(raw))
+		}
+		if got := bm.countPrefix(bm.numDocs); got != bm.deleted {
+			t.Fatalf("deleted = %d but %d bits set", bm.deleted, got)
+		}
+		if out := marshalTombstones(bm, bm.numDocs); string(out) != string(raw) {
+			t.Fatalf("accepted tombstones do not round-trip")
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package segment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fastinvert/internal/store"
+)
+
+// Manifest layout (manifest.json, version 1): the authoritative record
+// of which immutable segments make up the index. Every seal and every
+// compaction writes a new manifest atomically AFTER the segment files
+// it names are durable, so a crash at any point leaves a manifest
+// whose files all exist; orphaned segment files from an interrupted
+// seal are unreferenced and harmless.
+const (
+	manifestFileName = "manifest.json"
+	manifestVersion  = 1
+)
+
+// SegmentMeta describes one immutable on-disk segment.
+type SegmentMeta struct {
+	ID       uint64 `json:"id"`
+	File     string `json:"file"` // run-format postings file (base name)
+	Dict     string `json:"dict"` // sorted dictionary file (base name)
+	FirstDoc uint32 `json:"first_doc"`
+	LastDoc  uint32 `json:"last_doc"`
+	Docs     uint32 `json:"docs"`  // docIDs owned: LastDoc-FirstDoc+1
+	Lists    int    `json:"lists"` // postings lists in the run file
+	Bytes    int64  `json:"bytes"` // run file size
+}
+
+// Manifest is the on-disk index state: the sealed-document frontier,
+// the next segment ID, and the live segments in ascending doc order.
+type Manifest struct {
+	Version  int           `json:"version"`
+	NextDoc  uint32        `json:"next_doc"` // docs [0, NextDoc) are sealed
+	NextSeg  uint64        `json:"next_seg"`
+	Purged   uint32        `json:"purged"` // docs physically removed by compactions
+	Segments []SegmentMeta `json:"segments"`
+}
+
+// parseManifest validates and decodes a manifest. Structural damage —
+// out-of-order or overlapping segments, path traversal in file names,
+// counts that contradict each other — yields an error wrapping
+// store.ErrCorruptIndex, never a panic.
+func parseManifest(raw []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("manifest (%v): %w", err, store.ErrCorruptIndex)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("manifest: unsupported version %d: %w",
+			m.Version, store.ErrCorruptIndex)
+	}
+	if m.Purged > m.NextDoc {
+		return nil, fmt.Errorf("manifest: %d purged of %d sealed docs: %w",
+			m.Purged, m.NextDoc, store.ErrCorruptIndex)
+	}
+	prevLast := int64(-1)
+	for i := range m.Segments {
+		s := &m.Segments[i]
+		if s.File == "" || s.File != filepath.Base(s.File) ||
+			s.Dict == "" || s.Dict != filepath.Base(s.Dict) {
+			return nil, fmt.Errorf("manifest: segment %d names non-local file %q/%q: %w",
+				s.ID, s.File, s.Dict, store.ErrCorruptIndex)
+		}
+		if s.ID >= m.NextSeg {
+			return nil, fmt.Errorf("manifest: segment ID %d >= next_seg %d: %w",
+				s.ID, m.NextSeg, store.ErrCorruptIndex)
+		}
+		if s.FirstDoc > s.LastDoc {
+			return nil, fmt.Errorf("manifest: segment %d doc range [%d,%d] inverted: %w",
+				s.ID, s.FirstDoc, s.LastDoc, store.ErrCorruptIndex)
+		}
+		if int64(s.FirstDoc) <= prevLast {
+			return nil, fmt.Errorf("manifest: segment %d overlaps or disorders doc ranges: %w",
+				s.ID, store.ErrCorruptIndex)
+		}
+		prevLast = int64(s.LastDoc)
+		if s.LastDoc >= m.NextDoc {
+			return nil, fmt.Errorf("manifest: segment %d reaches doc %d past frontier %d: %w",
+				s.ID, s.LastDoc, m.NextDoc, store.ErrCorruptIndex)
+		}
+		if want := s.LastDoc - s.FirstDoc + 1; s.Docs != want {
+			return nil, fmt.Errorf("manifest: segment %d says %d docs over range [%d,%d]: %w",
+				s.ID, s.Docs, s.FirstDoc, s.LastDoc, store.ErrCorruptIndex)
+		}
+		if s.Lists < 0 || s.Bytes < 0 {
+			return nil, fmt.Errorf("manifest: segment %d has negative counts: %w",
+				s.ID, store.ErrCorruptIndex)
+		}
+	}
+	return &m, nil
+}
+
+// loadManifest reads dir's manifest; a missing file is a fresh empty
+// index.
+func loadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFileName))
+	if os.IsNotExist(err) {
+		return &Manifest{Version: manifestVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return parseManifest(raw)
+}
+
+// save atomically persists the manifest.
+func (m *Manifest) save(dir string) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(dir, manifestFileName), data)
+}

@@ -1,0 +1,124 @@
+package segment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"fastinvert/internal/postings"
+	"fastinvert/internal/store"
+)
+
+// segment is one immutable sealed segment: an open run-format postings
+// file plus its sorted dictionary, reference-counted so a compaction
+// can unlink the file while in-flight queries keep reading through the
+// still-open descriptor.
+type segment struct {
+	meta SegmentMeta
+	run  *store.RunFile
+	dict []store.DictEntry
+	refs atomic.Int64
+}
+
+// openSegment opens and cross-checks a segment's files against its
+// manifest entry. Mismatches wrap store.ErrCorruptIndex.
+func openSegment(dir string, meta SegmentMeta) (*segment, error) {
+	run, err := store.OpenRunFile(filepath.Join(dir, meta.File))
+	if err != nil {
+		return nil, fmt.Errorf("segment %d: %w", meta.ID, err)
+	}
+	if run.NumLists() != meta.Lists {
+		run.Close()
+		return nil, fmt.Errorf("segment %d: %d lists on disk, manifest says %d: %w",
+			meta.ID, run.NumLists(), meta.Lists, store.ErrCorruptIndex)
+	}
+	if run.NumLists() > 0 {
+		if first, last := run.DocRange(); first < meta.FirstDoc || last > meta.LastDoc {
+			run.Close()
+			return nil, fmt.Errorf("segment %d: doc range [%d,%d] outside manifest [%d,%d]: %w",
+				meta.ID, first, last, meta.FirstDoc, meta.LastDoc, store.ErrCorruptIndex)
+		}
+	}
+	df, err := os.Open(filepath.Join(dir, meta.Dict))
+	if err != nil {
+		run.Close()
+		return nil, fmt.Errorf("segment %d: %w", meta.ID, err)
+	}
+	dict, err := store.ReadDictionary(df)
+	df.Close()
+	if err != nil {
+		run.Close()
+		return nil, fmt.Errorf("segment %d dictionary: %w", meta.ID, err)
+	}
+	if len(dict) != run.NumLists() {
+		run.Close()
+		return nil, fmt.Errorf("segment %d: %d dictionary terms for %d lists: %w",
+			meta.ID, len(dict), run.NumLists(), store.ErrCorruptIndex)
+	}
+	// refs starts at zero: views are the only owners. The current view
+	// always references every current segment, so a segment lives
+	// until the last view naming it drains.
+	return &segment{meta: meta, run: run, dict: dict}, nil
+}
+
+func (s *segment) retain() { s.refs.Add(1) }
+
+func (s *segment) release() {
+	if s.refs.Add(-1) == 0 {
+		s.run.Close()
+	}
+}
+
+// postings returns the term's list in this segment (nil when absent)
+// plus its encoded on-disk size.
+func (s *segment) postings(coll int32, term string) (*postings.List, int64, error) {
+	e, ok := store.Lookup(s.dict, coll, term)
+	if !ok {
+		return nil, 0, nil
+	}
+	re, ok := s.run.Find(uint32(e.Collection), uint32(e.Slot))
+	if !ok {
+		return nil, 0, fmt.Errorf("segment %d: dictionary slot (%d,%d) has no list: %w",
+			s.meta.ID, e.Collection, e.Slot, store.ErrCorruptIndex)
+	}
+	l, err := s.run.ReadList(re)
+	if err != nil {
+		return nil, 0, fmt.Errorf("segment %d: %w", s.meta.ID, err)
+	}
+	return l, int64(re.Length), nil
+}
+
+// view is one immutable read snapshot: the sealed segments in
+// ascending doc order plus the memtable that was live when the view
+// was taken. Queries acquire the current view, finish against it, and
+// release it; seals and compactions swap in a new view and release
+// the old one, which tears down replaced segments once the last
+// in-flight query drains.
+type view struct {
+	segs []*segment
+	mem  *memtable
+	gen  uint64
+	refs atomic.Int64
+}
+
+// newView takes one reference on every segment; the view's own
+// lifetime starts at one reference (the manager's).
+func newView(segs []*segment, mem *memtable, gen uint64) *view {
+	for _, s := range segs {
+		s.retain()
+	}
+	v := &view{segs: segs, mem: mem, gen: gen}
+	v.refs.Store(1)
+	return v
+}
+
+func (v *view) retain() { v.refs.Add(1) }
+
+func (v *view) release() {
+	if v.refs.Add(-1) == 0 {
+		for _, s := range v.segs {
+			s.release()
+		}
+	}
+}

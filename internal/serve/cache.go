@@ -129,9 +129,27 @@ func (c *PostingsCache) Get(term string) (*postings.List, bool) {
 // Put inserts (or refreshes) a term's list, evicting least recently
 // used entries until the shard fits its byte budget. Lists larger than
 // a whole shard are not cached at all — admitting one would flush the
-// entire shard for a single entry.
+// entire shard for a single entry. The budget is charged the decoded
+// in-memory estimate (ListBytes).
 func (c *PostingsCache) Put(term string, l *postings.List) {
-	size := ListBytes(l)
+	c.put(term, l, ListBytes(l))
+}
+
+// PutSized inserts like Put but charges size bytes against the shard
+// budget instead of the decoded estimate. The serving layer passes the
+// encoded (at-rest) size reported by the store, so under the codec
+// registry a budget of N bytes admits as many lists as N bytes of
+// index actually hold — denser codecs fit proportionally more terms.
+// A non-positive size charges one byte, keeping even empty
+// (negative-lookup) entries accountable to the LRU.
+func (c *PostingsCache) PutSized(term string, l *postings.List, size int64) {
+	if size < 1 {
+		size = 1
+	}
+	c.put(term, l, size)
+}
+
+func (c *PostingsCache) put(term string, l *postings.List, size int64) {
 	s := c.shard(term)
 	if size > s.maxBytes {
 		return

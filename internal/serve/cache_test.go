@@ -86,6 +86,53 @@ func TestCacheRefreshSameTerm(t *testing.T) {
 	}
 }
 
+// TestPutSizedBudgetBoundary exercises the encoded-size accounting the
+// serving layer uses under the codec registry: the budget is charged
+// exactly the size passed in — not the decoded estimate — so the
+// boundary sits wherever the encoded bytes say it does.
+func TestPutSizedBudgetBoundary(t *testing.T) {
+	c := NewPostingsCache(1, 100)
+
+	// Three lists whose decoded estimates are identical but whose
+	// encoded charges sum to exactly the budget: all must be resident.
+	c.PutSized("a", listOfLen(10), 40)
+	c.PutSized("b", listOfLen(10), 40)
+	c.PutSized("c", listOfLen(10), 20)
+	if st := c.Stats(); st.Entries != 3 || st.Bytes != 100 || st.Evictions != 0 {
+		t.Fatalf("at boundary: %+v; want 3 entries, 100 bytes, 0 evictions", st)
+	}
+
+	// One more byte crosses the boundary; "a" is the LRU victim.
+	c.PutSized("d", listOfLen(10), 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should have been evicted at budget+1")
+	}
+	if st := c.Stats(); st.Entries != 3 || st.Bytes != 61 {
+		t.Fatalf("past boundary: %+v; want 3 entries, 61 bytes", st)
+	}
+
+	// An encoded size larger than the whole shard is never admitted,
+	// however small the decoded list.
+	c.PutSized("huge", listOfLen(1), 101)
+	if _, ok := c.Get("huge"); ok {
+		t.Fatal("size > shard budget must not be admitted")
+	}
+
+	// Non-positive sizes charge one byte so empty lists stay evictable.
+	before := c.Stats().Bytes
+	c.PutSized("empty", &postings.List{}, 0)
+	if got := c.Stats().Bytes - before; got != 1 {
+		t.Fatalf("zero-size entry charged %d bytes, want 1", got)
+	}
+
+	// Refreshing a term with a different encoded size re-charges the
+	// delta: b(40) + c(20) + empty(1) + d(1→30) = 91.
+	c.PutSized("d", listOfLen(10), 30)
+	if st := c.Stats(); st.Bytes != 91 {
+		t.Fatalf("refresh accounting: %+v; want 91 bytes", st)
+	}
+}
+
 func TestCacheRejectsOversizeList(t *testing.T) {
 	c := NewPostingsCache(1, 128)
 	c.Put("huge", listOfLen(1000))

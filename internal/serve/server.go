@@ -16,6 +16,7 @@ import (
 	"fastinvert/internal/encoding"
 	"fastinvert/internal/postings"
 	"fastinvert/internal/search"
+	"fastinvert/internal/segment"
 	"fastinvert/internal/store"
 	"fastinvert/internal/telemetry"
 )
@@ -68,7 +69,9 @@ func (c *Config) fill() {
 // cachedSource fronts an IndexReader with the sharded postings cache;
 // it is the search.PostingsSource the server's Searcher reads through,
 // so every query path — /search and /postings alike — shares one
-// cache.
+// cache. The cache budget is charged each list's encoded (at-rest)
+// size, so N MiB of budget admits what N MiB of index holds regardless
+// of which registered codec encoded each list.
 type cachedSource struct {
 	idx   *store.IndexReader
 	cache *PostingsCache
@@ -78,11 +81,11 @@ func (cs *cachedSource) Postings(term string) (*postings.List, error) {
 	if l, ok := cs.cache.Get(term); ok {
 		return l, nil
 	}
-	l, err := cs.idx.Postings(term)
+	l, enc, err := cs.idx.PostingsEncoded(term)
 	if err != nil {
 		return nil, err
 	}
-	cs.cache.Put(term, l)
+	cs.cache.PutSized(term, l, enc)
 	return l, nil
 }
 
@@ -90,12 +93,47 @@ func (cs *cachedSource) DocLens() []uint32             { return cs.idx.DocLens()
 func (cs *cachedSource) Runs() []store.RunMeta         { return cs.idx.Runs() }
 func (cs *cachedSource) Dictionary() []store.DictEntry { return cs.idx.Dictionary() }
 
+// liveSource reads through the cache against a segment.Manager. Cache
+// keys carry the manager's generation, which advances on every add,
+// delete, seal and compaction: a cached list can therefore never serve
+// a state it was not computed from, and queries never block on the
+// swap itself — a superseded generation simply stops getting hits and
+// ages out of the LRU. The size check after the fetch keeps a list
+// computed under a newer generation from being filed under an older
+// key.
+type liveSource struct {
+	mgr   *segment.Manager
+	cache *PostingsCache
+}
+
+func (ls *liveSource) Postings(term string) (*postings.List, error) {
+	gen := ls.mgr.Gen()
+	key := term + "#" + strconv.FormatUint(gen, 10)
+	if l, ok := ls.cache.Get(key); ok {
+		return l, nil
+	}
+	l, enc, err := ls.mgr.PostingsSized(term)
+	if err != nil {
+		return nil, err
+	}
+	if ls.mgr.Gen() == gen {
+		ls.cache.PutSized(key, l, enc)
+	}
+	return l, nil
+}
+
+func (ls *liveSource) DocLens() []uint32             { return ls.mgr.DocLens() }
+func (ls *liveSource) Runs() []store.RunMeta         { return ls.mgr.Runs() }
+func (ls *liveSource) Dictionary() []store.DictEntry { return ls.mgr.Dictionary() }
+func (ls *liveSource) LiveDocs() int64               { return ls.mgr.LiveDocs() }
+
 // Server serves Boolean, phrase and ranked queries over one opened
 // index. Construct with New, mount Handler on an http.Server, and
 // Close on shutdown (the index itself stays open; its lifetime belongs
 // to the caller).
 type Server struct {
-	idx      *store.IndexReader
+	idx      *store.IndexReader // nil in live mode
+	live     *segment.Manager   // nil in static mode
 	cache    *PostingsCache
 	searcher *search.Searcher
 	pool     *Pool
@@ -118,26 +156,58 @@ func New(idx *store.IndexReader, cfg Config) *Server {
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 	}
-	s.registerMetrics(cfg.Registry)
+	s.registerCommonMetrics(cfg.Registry)
+	s.registerStaticMetrics(cfg.Registry)
+	s.registerRoutes()
+	return s
+}
+
+// NewLive wires the same cache, pool and HTTP surface around a
+// segment.Manager, adding the ingestion endpoints: documents stream in
+// over /ingest while /search and /postings answer from the live
+// segment views. The manager's lifetime belongs to the caller, exactly
+// like the static reader's.
+func NewLive(mgr *segment.Manager, cfg Config) *Server {
+	cfg.fill()
+	cache := NewPostingsCache(cfg.CacheShards, cfg.CacheBytes)
+	s := &Server{
+		live:     mgr,
+		cache:    cache,
+		searcher: search.NewWithSource(&liveSource{mgr: mgr, cache: cache}),
+		pool:     NewPool(cfg.Workers),
+		metrics:  NewMetricsOn(cfg.Registry),
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+	}
+	s.registerCommonMetrics(cfg.Registry)
+	s.registerLiveMetrics(cfg.Registry)
+	s.registerRoutes()
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/delete", s.handleDelete)
+	s.mux.HandleFunc("/seal", s.handleSeal)
+	s.mux.HandleFunc("/compact", s.handleCompact)
+	return s
+}
+
+func (s *Server) registerRoutes() {
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/postings", s.handlePostings)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
-	s.mux.Handle("/metrics", cfg.Registry.Handler())
-	if cfg.EnablePprof {
+	s.mux.Handle("/metrics", s.cfg.Registry.Handler())
+	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	return s
 }
 
-// registerMetrics publishes the cache, pool and index-shape series as
-// func-backed metrics: values are read from the subsystems' own atomic
-// counters only when /metrics is scraped.
-func (s *Server) registerMetrics(reg *telemetry.Registry) {
+// registerCommonMetrics publishes the cache and pool series shared by
+// both modes as func-backed metrics: values are read from the
+// subsystems' own atomic counters only when /metrics is scraped.
+func (s *Server) registerCommonMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("hetserve_cache_hits_total",
 		"Postings cache hits across all shards.",
 		func() float64 { return float64(s.cache.Hits()) })
@@ -161,6 +231,11 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("hetserve_pool_completed_total",
 		"Queries completed by the worker pool.",
 		func() float64 { return float64(s.pool.Stats().Completed) })
+}
+
+// registerStaticMetrics publishes the static reader's index-shape and
+// store read-path series.
+func (s *Server) registerStaticMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("hetserve_index_terms",
 		"Distinct terms in the served index.",
 		func() float64 { return float64(s.idx.Terms()) })
@@ -200,6 +275,38 @@ func (s *Server) registerMetrics(reg *telemetry.Registry) {
 			"Postings lists decoded with the "+name+" codec.",
 			func() float64 { return float64(s.idx.Stats().CodecDecodes[name]) })
 	}
+}
+
+// registerLiveMetrics publishes the segment manager's shape and
+// lifecycle series, all func-backed off its atomic counters.
+func (s *Server) registerLiveMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("hetserve_live_docs",
+		"Non-deleted documents in the live index.",
+		func() float64 { return float64(s.live.LiveDocs()) })
+	reg.GaugeFunc("hetserve_live_deleted",
+		"Documents currently tombstoned (not yet purged).",
+		func() float64 { return float64(s.live.Stats().Deleted) })
+	reg.GaugeFunc("hetserve_live_segments",
+		"Sealed immutable segments on disk.",
+		func() float64 { return float64(s.live.Stats().Segments) })
+	reg.GaugeFunc("hetserve_live_segment_bytes",
+		"Total run-file bytes across sealed segments.",
+		func() float64 { return float64(s.live.Stats().SegmentBytes) })
+	reg.GaugeFunc("hetserve_live_memtable_docs",
+		"Documents buffered in the in-memory write segment.",
+		func() float64 { return float64(s.live.Stats().MemtableDocs) })
+	reg.GaugeFunc("hetserve_live_memtable_terms",
+		"Distinct terms in the in-memory write segment.",
+		func() float64 { return float64(s.live.Stats().MemtableTerms) })
+	reg.CounterFunc("hetserve_live_seals_total",
+		"Memtable seals since the manager opened.",
+		func() float64 { return float64(s.live.Stats().Seals) })
+	reg.CounterFunc("hetserve_live_compactions_total",
+		"Segment compactions since the manager opened.",
+		func() float64 { return float64(s.live.Stats().Compactions) })
+	reg.GaugeFunc("hetserve_live_generation",
+		"Current index generation (advances on every visible mutation).",
+		func() float64 { return float64(s.live.Gen()) })
 }
 
 // Handler returns the route multiplexer.
@@ -340,13 +447,19 @@ func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("%q is a stop word", word))
 		return
 	}
-	if _, err := s.idx.LookupTerm(norm); err != nil {
-		if errors.Is(err, store.ErrTermNotFound) {
-			httpError(w, http.StatusNotFound, err.Error())
+	// The static reader can reject unknown terms before scheduling any
+	// work; the live index has no stable dictionary to pre-check against
+	// (a concurrent ingest could add the term mid-request), so there an
+	// empty result below becomes the 404.
+	if s.idx != nil {
+		if _, err := s.idx.LookupTerm(norm); err != nil {
+			if errors.Is(err, store.ErrTermNotFound) {
+				httpError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			writeQueryError(w, err)
 			return
 		}
-		writeQueryError(w, err)
-		return
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
@@ -372,13 +485,32 @@ func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
 		writeQueryError(w, err)
 		return
 	}
+	if s.live != nil && resp.DF == 0 {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("store: term %q not found", norm))
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz reports liveness plus basic index shape.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.live != nil {
+		st := s.live.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ok",
+			"mode":          "live",
+			"docs":          s.live.LiveDocs(),
+			"deleted":       st.Deleted,
+			"segments":      st.Segments,
+			"memtable_docs": st.MemtableDocs,
+			"generation":    st.Generation,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
+		"mode":   "static",
 		"terms":  s.idx.Terms(),
 		"docs":   s.searcher.NumDocs(),
 		"runs":   len(s.idx.Runs()),

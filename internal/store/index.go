@@ -605,26 +605,40 @@ func (r *IndexReader) Postings(term string) (*postings.List, error) {
 // IDs" benefit of the per-run format; the merged path slices the
 // single list by binary search.
 func (r *IndexReader) PostingsRange(term string, minDoc, maxDoc uint32) (*postings.List, error) {
+	l, _, err := r.postingsRange(term, minDoc, maxDoc)
+	return l, err
+}
+
+// PostingsEncoded is Postings plus the encoded (on-disk) byte size of
+// the entries that produced the list — the compressed footprint the
+// codec registry actually achieved, available even on cache hits. The
+// serve cache charges this size instead of the decoded estimate, so
+// better-compressed lists leave room for more cached entries.
+func (r *IndexReader) PostingsEncoded(term string) (*postings.List, int64, error) {
+	return r.postingsRange(term, 0, ^uint32(0))
+}
+
+func (r *IndexReader) postingsRange(term string, minDoc, maxDoc uint32) (*postings.List, int64, error) {
 	if err := r.checkClosed(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	coll := trie.IndexString(term)
 	e, ok := Lookup(r.dict, int32(coll), term)
 	if !ok {
-		return &postings.List{}, nil
+		return &postings.List{}, 0, nil
 	}
 
 	r.mu.Lock()
 	m := r.merged
 	r.mu.Unlock()
 	if m != nil {
-		l, err := r.lookupList(m.key, m.rr, uint32(e.Collection), uint32(e.Slot), m.find)
+		l, enc, err := r.lookupList(m.key, m.rr, uint32(e.Collection), uint32(e.Slot), m.find)
 		if err == nil {
 			r.mergedHits.Add(1)
-			return sliceRange(l, minDoc, maxDoc), nil
+			return sliceRange(l, minDoc, maxDoc), enc, nil
 		}
 		if errors.Is(err, ErrClosed) {
-			return nil, err
+			return nil, 0, err
 		}
 		// Merged read failed under us (e.g. the file vanished or went
 		// bad after open): serve from the runs instead of failing the
@@ -633,57 +647,60 @@ func (r *IndexReader) PostingsRange(term string, minDoc, maxDoc uint32) (*postin
 
 	r.runFallbacks.Add(1)
 	out := &postings.List{}
+	var encoded int64
 	for _, rm := range r.runs {
 		if rm.LastDoc < minDoc || rm.FirstDoc > maxDoc {
 			continue
 		}
 		rr, err := r.runFile(rm)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		part, err := r.lookupList(rr.name, rr, uint32(e.Collection), uint32(e.Slot),
+		part, enc, err := r.lookupList(rr.name, rr, uint32(e.Collection), uint32(e.Slot),
 			func(c, s uint32) (RunEntry, bool) { return rr.find(c, s) })
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if part == nil {
 			continue
 		}
+		encoded += enc
 		if err := postings.Concat(out, part); err != nil {
-			return nil, fmt.Errorf("store: %s: %w", rm.File, err)
+			return nil, 0, fmt.Errorf("store: %s: %w", rm.File, err)
 		}
 	}
 	// Trim postings the boundary runs carry outside [minDoc, maxDoc] so
 	// both paths return the same exact range.
-	return sliceRange(out, minDoc, maxDoc), nil
+	return sliceRange(out, minDoc, maxDoc), encoded, nil
 }
 
 // lookupList fetches one (collection, slot) list from a run-format
 // file through the decoded-list cache: a cache hit costs no I/O, a
-// miss costs exactly one positioned read plus one decode. A list the
-// file does not hold returns (nil, nil). Returned lists are shared and
-// must not be mutated.
+// miss costs exactly one positioned read plus one decode. The second
+// return is the entry's encoded byte length, known before the cache is
+// consulted. A list the file does not hold returns (nil, 0, nil).
+// Returned lists are shared and must not be mutated.
 func (r *IndexReader) lookupList(cacheFile string, rr *runReader, coll, slot uint32,
-	find func(uint32, uint32) (RunEntry, bool)) (*postings.List, error) {
+	find func(uint32, uint32) (RunEntry, bool)) (*postings.List, int64, error) {
 	e, ok := find(coll, slot)
 	if !ok {
-		return nil, nil
+		return nil, 0, nil
 	}
 	key := listKey{file: cacheFile, coll: coll, slot: slot}
 	if l, ok := r.cache.get(key); ok {
-		return l, nil
+		return l, int64(e.Length), nil
 	}
 	blob, err := rr.readBlob(e)
 	if err != nil {
-		return nil, r.readErr(rr.name, err)
+		return nil, 0, r.readErr(rr.name, err)
 	}
 	r.listBytes.Add(uint64(e.Length))
 	l, err := r.decodeEntry(blob, e)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", rr.name, err)
+		return nil, 0, fmt.Errorf("%s: %w", rr.name, err)
 	}
 	r.cache.put(key, l)
-	return l, nil
+	return l, int64(e.Length), nil
 }
 
 // decodeEntry is the counted decode path: decodeEntry plus the

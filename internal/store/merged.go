@@ -1,19 +1,14 @@
 package store
 
 import (
-	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"sync/atomic"
-
-	"fastinvert/internal/encoding"
-	"fastinvert/internal/postings"
 )
 
 // Merged-file layout: merged.post reuses the run-file format (header,
@@ -161,171 +156,6 @@ type MergeStats struct {
 	Codecs   map[string]int // lists per codec the selector chose
 }
 
-// mergeCursor is one run's entries in (collection, slot) order. It is
-// read-only during the merge: each shard worker keeps its own position
-// per run, so the same cursors serve every shard concurrently.
-type mergeCursor struct {
-	rr      *runReader
-	ordered []int // entry indexes sorted by key
-}
-
-// keyAt returns the merge key of the i-th entry in key order.
-func (c *mergeCursor) keyAt(i int) uint64 {
-	e := c.rr.entries[c.ordered[i]]
-	return uint64(e.Collection)<<32 | uint64(e.Slot)
-}
-
-// runSpan is one run's contiguous blob range covering a shard's keys,
-// read with a single positioned read. base is the blob offset of
-// buf[0]; entries slice into it by (Offset - base).
-type runSpan struct {
-	buf  []byte
-	base uint64
-}
-
-// shardResult is one shard's merged output: the encoded blob for the
-// shard's contiguous key range, table entries with offsets relative to
-// the shard blob (the writer rebases them), and the shard's doc range.
-type shardResult struct {
-	entries []RunEntry
-	blob    []byte
-	first   uint32
-	last    uint32
-	hasDocs bool
-	err     error
-}
-
-// mergeShard performs the k-way merge for one contiguous slice of the
-// global key list: for each key it reads the partial lists from every
-// run holding it (positioned reads are concurrency-safe), concatenates,
-// re-encodes and appends to the shard blob. keys must be non-empty.
-func (r *IndexReader) mergeShard(cursors []*mergeCursor, keys []uint64) shardResult {
-	res := shardResult{first: ^uint32(0)}
-	// Per-run position of the first entry at or past the shard's key
-	// range; from there each run is walked sequentially, exactly as the
-	// serial merge walked it across the whole key space.
-	pos := make([]int, len(cursors))
-	end := make([]int, len(cursors))
-	spans := make([]runSpan, len(cursors))
-	lastKey := keys[len(keys)-1]
-	for ci, c := range cursors {
-		pos[ci] = sort.Search(len(c.ordered), func(i int) bool {
-			return c.keyAt(i) >= keys[0]
-		})
-		end[ci] = pos[ci] + sort.Search(len(c.ordered)-pos[ci], func(i int) bool {
-			return c.keyAt(pos[ci]+i) > lastKey
-		})
-		// Indexers emit lists in key order, so the shard's entries in
-		// this run are (near-)contiguous in the blob: read the whole
-		// span with one positioned read instead of one read per list.
-		// A sparse span (hand-built or reordered run) falls back to
-		// per-list reads rather than dragging in unrelated bytes.
-		var minOff, maxEnd, sum uint64
-		for _, idx := range c.ordered[pos[ci]:end[ci]] {
-			e := c.rr.entries[idx]
-			if e.Length == 0 {
-				continue
-			}
-			if sum == 0 || e.Offset < minOff {
-				minOff = e.Offset
-			}
-			if e.Offset+uint64(e.Length) > maxEnd {
-				maxEnd = e.Offset + uint64(e.Length)
-			}
-			sum += uint64(e.Length)
-		}
-		if sum > 0 && maxEnd-minOff <= sum+sum/2+(64<<10) {
-			buf := make([]byte, maxEnd-minOff)
-			if err := c.rr.readBlobRange(minOff, buf); err != nil {
-				res.err = r.readErr(c.rr.name, err)
-				return res
-			}
-			spans[ci] = runSpan{buf: buf, base: minOff}
-		}
-	}
-	var (
-		acc     postings.List
-		partBuf []byte // reused compressed-bytes buffer (decode copies out)
-	)
-	for _, key := range keys {
-		coll, slot := uint32(key>>32), uint32(key)
-		// Reuse docID/tf capacity across keys; Positions stays nil so
-		// the plain-vs-positional bookkeeping in Concat is untouched.
-		acc = postings.List{DocIDs: acc.DocIDs[:0], TFs: acc.TFs[:0]}
-		flags := uint32(0)
-		for ci, c := range cursors {
-			if pos[ci] >= len(c.ordered) || c.keyAt(pos[ci]) != key {
-				continue
-			}
-			e := c.rr.entries[c.ordered[pos[ci]]]
-			pos[ci]++
-			var partBlob []byte
-			if s := spans[ci]; s.buf != nil && e.Length > 0 {
-				partBlob = s.buf[e.Offset-s.base : e.Offset-s.base+uint64(e.Length)]
-			} else if e.Length > 0 {
-				var err error
-				partBlob, err = c.rr.readBlobInto(e, partBuf)
-				if err != nil {
-					res.err = r.readErr(c.rr.name, err)
-					return res
-				}
-				partBuf = partBlob // keep the grown buffer for the next read
-			}
-			r.listBytes.Add(uint64(e.Length))
-			part, err := r.decodeEntry(partBlob, e)
-			if err != nil {
-				res.err = fmt.Errorf("store: %s: %w", c.rr.name, err)
-				return res
-			}
-			if err := postings.Concat(&acc, part); err != nil {
-				res.err = fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
-				return res
-			}
-		}
-		if acc.Len() == 0 {
-			continue
-		}
-		// Encode straight into the shard blob: the list's start offset
-		// is the blob length before the append, so no per-list scratch
-		// copy is needed. The codec choice is a pure function of the
-		// list's shape, so every worker count yields identical bytes.
-		n := acc.Len()
-		codec := encoding.VarByteCodec
-		if r.mergeSelect != nil {
-			codec = r.mergeSelect(n, acc.DocIDs[0], acc.DocIDs[n-1], acc.Positional())
-		}
-		var accPos [][]uint32
-		if acc.Positional() {
-			flags = FlagPositional
-			accPos = acc.Positions
-		}
-		flags |= codecFlags(codec.ID())
-		start := len(res.blob)
-		var err error
-		res.blob, err = codec.Encode(res.blob, acc.DocIDs, acc.TFs, accPos)
-		if err != nil {
-			res.err = fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
-			return res
-		}
-		res.entries = append(res.entries, RunEntry{
-			Collection: coll,
-			Slot:       slot,
-			Offset:     uint64(start),
-			Length:     uint32(len(res.blob) - start),
-			Count:      uint32(acc.Len()),
-			Flags:      flags,
-		})
-		res.hasDocs = true
-		if acc.DocIDs[0] < res.first {
-			res.first = acc.DocIDs[0]
-		}
-		if acc.DocIDs[acc.Len()-1] > res.last {
-			res.last = acc.DocIDs[acc.Len()-1]
-		}
-	}
-	return res
-}
-
 // Merge combines all partial postings lists into the single monolithic
 // merged.post file — the paper's optional post-processing step, priced
 // at <10% of build time (§III.F). The sorted key space is partitioned
@@ -351,239 +181,48 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 	metas := append([]RunMeta(nil), r.runs...)
 	sort.SliceStable(metas, func(i, j int) bool { return metas[i].FirstDoc < metas[j].FirstDoc })
 	cursors := make([]*mergeCursor, 0, len(metas))
-	nLists := 0
 	for _, rm := range metas {
 		rr, err := r.runFile(rm)
 		if err != nil {
 			return nil, err
 		}
-		ordered := make([]int, len(rr.entries))
-		for i := range ordered {
-			ordered[i] = i
+		c, err := newMergeCursor(rr, nil)
+		if err != nil {
+			return nil, err
 		}
-		sort.Slice(ordered, func(a, b int) bool {
-			ea, eb := rr.entries[ordered[a]], rr.entries[ordered[b]]
-			if ea.Collection != eb.Collection {
-				return ea.Collection < eb.Collection
-			}
-			return ea.Slot < eb.Slot
-		})
-		cursors = append(cursors, &mergeCursor{rr: rr, ordered: ordered})
-		nLists += len(rr.entries)
+		cursors = append(cursors, c)
 	}
-	// Distinct merged keys, known before any blob is read: the table
-	// region can be sized and reserved up front.
-	keys := make([]uint64, 0, nLists)
-	for _, c := range cursors {
-		for _, i := range c.ordered {
-			e := c.rr.entries[i]
-			keys = append(keys, uint64(e.Collection)<<32|uint64(e.Slot))
-		}
+	m := &merger{
+		cursors: cursors,
+		sel:     r.mergeSelect,
+		onBytes: func(n uint64) { r.listBytes.Add(n) },
+		decode:  r.decodeEntry,
+		readErr: r.readErr,
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	keys = dedupeSorted(keys)
-
-	tmpPath := filepath.Join(r.dir, mergedFileName+".tmp")
-	f, err := os.Create(tmpPath)
+	stats, fileCRC, err := m.writeMergedFile(context.Background(),
+		filepath.Join(r.dir, mergedFileName), r.mergeWorkers)
 	if err != nil {
 		return nil, err
 	}
-	defer func() {
-		if f != nil {
-			f.Close()
-			os.Remove(tmpPath)
-		}
-	}()
-
-	// Reserve header + table, stream the blob behind them, then patch
-	// the table and CRC once every offset is known.
-	tableSize := len(keys) * entrySize
-	if _, err := f.Write(make([]byte, runHdrSize+tableSize)); err != nil {
-		return nil, err
-	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-
-	var (
-		entries = make([]RunEntry, 0, len(keys))
-		blobOff uint64
-		first   = ^uint32(0)
-		last    uint32
-		// blobCRC accumulates while the blob streams out; combined with
-		// the table CRC below, it replaces the old second full read of
-		// merged.post just to checksum it.
-		blobCRC = crc32.NewIEEE()
-	)
-	if len(keys) > 0 {
-		workers := r.mergeWorkers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		if workers > len(keys) {
-			workers = len(keys)
-		}
-		// A few shards per worker for load balance; the writer drains
-		// them strictly in key order so the file bytes never depend on
-		// scheduling.
-		nShards := workers * 4
-		if nShards > len(keys) {
-			nShards = len(keys)
-		}
-		resCh := make([]chan shardResult, nShards)
-		for i := range resCh {
-			resCh[i] = make(chan shardResult, 1)
-		}
-		// The semaphore bounds shard blobs in flight to workers+1.
-		// Tokens are acquired before a shard index is claimed, so the
-		// lowest undrained shard is always either claimed by a
-		// token-holding worker or claimable — no deadlock.
-		sem := make(chan struct{}, workers+1)
-		var nextShard atomic.Int64
-		var aborted atomic.Bool
-		for w := 0; w < workers; w++ {
-			go func() {
-				for {
-					sem <- struct{}{}
-					s := int(nextShard.Add(1)) - 1
-					if s >= nShards {
-						<-sem
-						return
-					}
-					if aborted.Load() {
-						resCh[s] <- shardResult{}
-						continue
-					}
-					lo, hi := s*len(keys)/nShards, (s+1)*len(keys)/nShards
-					resCh[s] <- r.mergeShard(cursors, keys[lo:hi])
-				}
-			}()
-		}
-		var workerErr error
-		for s := 0; s < nShards; s++ {
-			res := <-resCh[s]
-			<-sem
-			if workerErr != nil {
-				continue
-			}
-			if res.err != nil {
-				workerErr = res.err
-				aborted.Store(true)
-				continue
-			}
-			if _, err := bw.Write(res.blob); err != nil {
-				workerErr = err
-				aborted.Store(true)
-				continue
-			}
-			blobCRC.Write(res.blob) //nolint:errcheck // hash writes cannot fail
-			for _, e := range res.entries {
-				e.Offset += blobOff
-				entries = append(entries, e)
-			}
-			blobOff += uint64(len(res.blob))
-			if res.hasDocs {
-				if res.first < first {
-					first = res.first
-				}
-				if res.last > last {
-					last = res.last
-				}
-			}
-		}
-		if workerErr != nil {
-			return nil, workerErr
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return nil, err
-	}
-	if first == ^uint32(0) {
-		first = 0
-	}
-
-	// Patch the header and table in place. Empty keys (present in some
-	// run table but holding zero postings) never occur — AddList skips
-	// empty lists — so len(entries) == len(keys); assert anyway and
-	// shrink the reservation if a key produced nothing.
-	if len(entries) != len(keys) {
-		if err := f.Truncate(0); err != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("store: merge produced %d lists for %d keys", len(entries), len(keys))
-	}
-	// Codec histogram decides the format version: any non-varbyte list
-	// forces run format 4 and sidecar version 2; an all-varbyte merge
-	// stays byte-compatible with pre-codec readers.
-	codecCounts := make(map[string]int)
-	hasCodec := false
-	for _, e := range entries {
-		c, err := encoding.Lookup(e.Codec())
-		if err != nil {
-			return nil, fmt.Errorf("store: merge: %w", err)
-		}
-		codecCounts[c.Name()]++
-		if c.ID() != encoding.CodecVarByte {
-			hasCodec = true
-		}
-	}
-	ver := uint32(runVersion)
+	// Any non-varbyte list forces sidecar version 2; an all-varbyte
+	// merge stays byte-compatible with pre-codec readers.
 	scVer := mergedSidecarVersion
 	var scCodecs map[string]int
-	if hasCodec {
-		ver = runVersionCodec
-		scVer = mergedSidecarVersionCodec
-		scCodecs = codecCounts
-	}
-	hdrTable := make([]byte, runHdrSize+tableSize)
-	binary.LittleEndian.PutUint32(hdrTable[0:], runMagic)
-	binary.LittleEndian.PutUint32(hdrTable[4:], ver)
-	binary.LittleEndian.PutUint32(hdrTable[8:], uint32(len(entries)))
-	binary.LittleEndian.PutUint32(hdrTable[12:], first)
-	binary.LittleEndian.PutUint32(hdrTable[16:], last)
-	// CRC patched below once the table bytes are final.
-	for i, e := range entries {
-		off := runHdrSize + i*entrySize
-		binary.LittleEndian.PutUint32(hdrTable[off:], e.Collection)
-		binary.LittleEndian.PutUint32(hdrTable[off+4:], e.Slot)
-		binary.LittleEndian.PutUint64(hdrTable[off+8:], e.Offset)
-		binary.LittleEndian.PutUint32(hdrTable[off+16:], e.Length)
-		binary.LittleEndian.PutUint32(hdrTable[off+20:], e.Count)
-		binary.LittleEndian.PutUint32(hdrTable[off+24:], e.Flags)
-	}
-	if _, err := f.WriteAt(hdrTable, 0); err != nil {
-		return nil, err
-	}
-	size := int64(len(hdrTable)) + int64(blobOff)
-	// The file CRC covers table + blob. The blob half accumulated while
-	// streaming; crc32Combine splices the table CRC in front of it
-	// without re-reading a byte of merged.post.
-	fileCRC := crc32Combine(crc32.ChecksumIEEE(hdrTable[runHdrSize:]), blobCRC.Sum32(), int64(blobOff))
-	var crcBytes [4]byte
-	binary.LittleEndian.PutUint32(crcBytes[:], fileCRC)
-	if _, err := f.WriteAt(crcBytes[:], 20); err != nil {
-		return nil, err
-	}
-	if err := f.Sync(); err != nil {
-		return nil, err
-	}
-	if err := f.Close(); err != nil {
-		f = nil
-		os.Remove(tmpPath)
-		return nil, err
-	}
-	f = nil // disarm the cleanup defer
-	finalPath := filepath.Join(r.dir, mergedFileName)
-	if err := os.Rename(tmpPath, finalPath); err != nil {
-		os.Remove(tmpPath)
-		return nil, err
+	for name, cnt := range stats.Codecs {
+		if name != "varbyte" && cnt > 0 {
+			scVer = mergedSidecarVersionCodec
+			scCodecs = stats.Codecs
+			break
+		}
 	}
 	sc := mergedSidecar{
 		Version:  scVer,
 		File:     mergedFileName,
-		Size:     size,
+		Size:     stats.Bytes,
 		CRC32:    fileCRC,
-		Lists:    len(entries),
-		FirstDoc: first,
-		LastDoc:  last,
+		Lists:    stats.Lists,
+		FirstDoc: stats.FirstDoc,
+		LastDoc:  stats.LastDoc,
 		Runs:     len(metas),
 		Codecs:   scCodecs,
 	}
@@ -594,28 +233,20 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 
 	// Switch this reader onto the merged path so subsequent lookups go
 	// through it; a fresh OpenIndex picks it up via the sidecar.
-	stats := &MergeStats{
-		Lists:    len(entries),
-		Bytes:    size,
-		FirstDoc: first,
-		LastDoc:  last,
-		Runs:     len(metas),
-		Codecs:   codecCounts,
-	}
-	m, err := loadMerged(r.dir)
+	mState, err := loadMerged(r.dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: reloading merged file: %w", err)
 	}
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
-		if m != nil {
-			m.rr.close()
+		if mState != nil {
+			mState.rr.close()
 		}
 		return nil, ErrClosed
 	}
 	old := r.merged
-	r.merged, r.mergedErr = m, nil
+	r.merged, r.mergedErr = mState, nil
 	r.mu.Unlock()
 	if old != nil {
 		old.rr.close()
@@ -664,15 +295,4 @@ func syncDir(dir string) {
 	}
 	d.Sync() //nolint:errcheck
 	d.Close()
-}
-
-// dedupeSorted removes adjacent duplicates in place.
-func dedupeSorted(keys []uint64) []uint64 {
-	out := keys[:0]
-	for i, k := range keys {
-		if i == 0 || k != keys[i-1] {
-			out = append(out, k)
-		}
-	}
-	return out
 }

@@ -1,0 +1,63 @@
+package verify
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRunLiveSeeds drives the interleaved harness across several seeds
+// in both positional modes; every seal/compact/final/reopen checkpoint
+// must agree with the serial rebuild.
+func TestRunLiveSeeds(t *testing.T) {
+	for _, positional := range []bool{false, true} {
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := RunLive(context.Background(), LiveConfig{
+				Seed:       seed,
+				Ops:        300,
+				Positional: positional,
+			})
+			if err != nil {
+				t.Fatalf("seed %d positional=%v: %v", seed, positional, err)
+			}
+			if !res.OK() {
+				t.Errorf("seed %d positional=%v:\n%s", seed, positional, res.Summary())
+			}
+			if len(res.Checkpoints) < 2 {
+				t.Errorf("seed %d: only %d checkpoints — schedule never sealed?",
+					seed, len(res.Checkpoints))
+			}
+			if res.Inserts == 0 || res.Deletes == 0 || res.Queries == 0 {
+				t.Errorf("seed %d: degenerate schedule %+v", seed, res)
+			}
+		}
+	}
+}
+
+// TestRunLiveDeterministic re-runs one seed and checks the schedule
+// shape is reproducible — the property that makes a failing seed a
+// useful bug report.
+func TestRunLiveDeterministic(t *testing.T) {
+	run := func() *LiveResult {
+		res, err := RunLive(context.Background(), LiveConfig{Seed: 42, Ops: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Inserts != b.Inserts || a.Deletes != b.Deletes ||
+		a.Queries != b.Queries || a.Seals != b.Seals ||
+		len(a.Checkpoints) != len(b.Checkpoints) {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", a.Summary(), b.Summary())
+	}
+}
+
+// TestRunLiveCancellation aborts mid-schedule; the harness must return
+// the context error without wedging or leaking the manager.
+func TestRunLiveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunLive(ctx, LiveConfig{Seed: 7, Ops: 100}); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}
