@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check lint smoke bench bench-smoke codec-bench microbench fuzz differential differential-live experiments merge-bench tools clean
+.PHONY: all build test race check lint smoke trace-serve bench bench-smoke codec-bench microbench fuzz differential differential-live experiments merge-bench tools clean
 
 all: build test
 
@@ -38,6 +38,20 @@ smoke:
 	&& $(GO) run ./cmd/tracecheck -min-coverage 0.9 $$tmp/trace.jsonl \
 	&& grep -q '^fastinvert_build_wall_seconds ' $$tmp/metrics.prom \
 	&& echo "smoke OK"; } || rc=1; \
+	rm -rf $$tmp; exit $$rc
+
+# Serving-trace smoke: run hetserve -live under full request tracing
+# (sample everything, slow-log everything) against its built-in seeded
+# load generator, then gate the JSONL request-trace stream on schema
+# shape, the child-span-sum <= parent-wall invariant, and >=5 distinct
+# query stages (dict, cache, pread, decode, merge/memtable) appearing
+# in one trace.
+trace-serve:
+	@tmp=$$(mktemp -d); rc=0; \
+	{ $(GO) run ./cmd/hetserve -live -index $$tmp/seg -positional \
+		-selfcheck -sample 1 -slow-ms -1 -trace-requests $$tmp/req.jsonl \
+	&& $(GO) run ./cmd/tracecheck -requests -min-stages 5 -min-traces 50 $$tmp/req.jsonl \
+	&& echo "trace-serve OK"; } || rc=1; \
 	rm -rf $$tmp; exit $$rc
 
 # Everything CI runs (.github/workflows/ci.yml): lint, build, the full

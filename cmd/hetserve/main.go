@@ -17,7 +17,10 @@
 //	                                             latency histogram, cache hit/miss/eviction,
 //	                                             pool in-flight, index shape
 //	/debug/vars                                  expvar + QPS, p50/p99 latency, cache + pool stats
-//	/debug/pprof/                                net/http/pprof (behind -pprof)
+//	/debug/slowlog                               ring-buffered slow-query log (see -slow-ms)
+//	/debug/trace                                 retained request traces; ?id=X dumps one span tree
+//	/debug/pprof/                                net/http/pprof (behind -pprof; query goroutines
+//	                                             carry endpoint and generation pprof labels)
 //
 // Live mode adds (POST only):
 //
@@ -29,6 +32,13 @@
 // Queries execute on a bounded worker pool under a per-query deadline,
 // reading postings through a sharded LRU cache; see internal/serve and
 // internal/segment.
+//
+// Request tracing: -sample N head-samples one request in N into a full
+// span tree (dictionary, cache, pread, decode, merge, memtable stages),
+// retained at /debug/trace, broken down per stage on /metrics, and —
+// with -trace-requests — streamed as JSON lines that cmd/tracecheck
+// -requests validates. Requests at or over -slow-ms always land in
+// /debug/slowlog, traced or not.
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"fastinvert/internal/segment"
 	"fastinvert/internal/serve"
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 )
 
 func main() {
@@ -57,11 +68,16 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Second, "per-query deadline")
 		pprofOn  = flag.Bool("pprof", false, "mount /debug/pprof/ handlers")
 
+		sample   = flag.Int("sample", 64, "head-sample one request in N into a full trace (0 disables tracing)")
+		slowMS   = flag.Int("slow-ms", 250, "slow-query log threshold in milliseconds (negative logs every request)")
+		traceReq = flag.String("trace-requests", "", "stream sampled request traces as JSON lines to this file")
+
 		live       = flag.Bool("live", false, "serve a live LSM-style index from -index (created if empty)")
 		positional = flag.Bool("positional", false, "live mode: index token positions (phrase queries)")
 		sealEvery  = flag.Int("seal-every", 10000, "live mode: auto-seal the memtable every N documents (0 = manual)")
 		compactAt  = flag.Int("compact-at", 4, "live mode: background-compact at N segments (0 = manual)")
 		codec      = flag.String("codec", "auto", "live mode: postings codec for sealed segments")
+		selfcheck  = flag.Bool("selfcheck", false, "live mode: drive a seeded ingest+query load against the server, then exit (CI trace harness)")
 	)
 	flag.Parse()
 	if *indexDir == "" {
@@ -70,12 +86,41 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Registered before every closer below, so it runs after them: a
+	// selfcheck failure must still seal the memtable and flush the trace
+	// stream before the process reports it.
+	failed := false
+	defer func() {
+		if failed {
+			os.Exit(1)
+		}
+	}()
+
 	cfg := serve.Config{
 		CacheBytes:   *cacheMB << 20,
 		CacheShards:  *shards,
 		Workers:      *workers,
 		QueryTimeout: *timeout,
 		EnablePprof:  *pprofOn,
+		SampleEvery:  *sample,
+		SlowQuery:    time.Duration(*slowMS) * time.Millisecond,
+	}
+	if *traceReq != "" {
+		tw, err := telemetry.CreateReqTraceFile(*traceReq)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetserve: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := tw.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "hetserve: request trace: %v\n", err)
+			}
+		}()
+		cfg.ReqTraces = tw
+	}
+	if *selfcheck && !*live {
+		fmt.Fprintln(os.Stderr, "hetserve: -selfcheck requires -live")
+		os.Exit(2)
 	}
 	var srv *serve.Server
 	if *live {
@@ -92,8 +137,12 @@ func main() {
 		defer mgr.Close() // seals the memtable so every ingested doc persists
 		srv = serve.NewLive(mgr, cfg)
 		st := mgr.Stats()
+		where := *addr
+		if *selfcheck {
+			where = "a loopback selfcheck port"
+		}
 		fmt.Printf("hetserve: live index, %d docs in %d segments — listening on %s\n",
-			mgr.LiveDocs(), st.Segments, *addr)
+			mgr.LiveDocs(), st.Segments, where)
 	} else {
 		idx, err := store.OpenIndex(*indexDir)
 		if err != nil {
@@ -106,6 +155,16 @@ func main() {
 			idx.Terms(), len(idx.Runs()), *addr)
 	}
 	defer srv.Close()
+
+	if *selfcheck {
+		if err := runSelfCheck(srv.Handler(), *positional); err != nil {
+			fmt.Fprintf(os.Stderr, "hetserve: selfcheck: %v\n", err)
+			failed = true
+			return
+		}
+		fmt.Println("hetserve: selfcheck passed")
+		return
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)

@@ -1,14 +1,17 @@
-// Command tracecheck validates a JSONL build trace written by
-// hetindex -trace: schema shape, per-worker span nesting, and the
-// busy+stall wall-clock coverage gate. CI's smoke job runs it against
-// a tiny corpus build.
+// Command tracecheck validates JSONL traces written by the fastinvert
+// tools: build traces from hetindex -trace (schema shape, per-worker
+// span nesting, the busy+stall wall-clock coverage gate) and, with
+// -requests, request traces from hetserve -trace-requests (span-tree
+// shape, known stages, the child-sum ≤ parent-wall invariant, and a
+// query-stage coverage gate). CI runs both against seeded workloads.
 //
 // Usage:
 //
 //	tracecheck [-min-coverage 0.9] build-trace.jsonl
+//	tracecheck -requests [-min-stages 5] [-min-traces 1] request-trace.jsonl
 //
-// Exit status 0 means the trace is well-formed and the coverage gate
-// passed; 1 names the first violated invariant.
+// Exit status 0 means the trace is well-formed and the gates passed;
+// 1 names the first violated invariant.
 package main
 
 import (
@@ -26,28 +29,74 @@ func main() {
 	log.SetPrefix("tracecheck: ")
 	minCov := flag.Float64("min-coverage", 0.9,
 		"minimum busy+stall fraction of build wall-clock (0 disables the gate)")
+	requests := flag.Bool("requests", false,
+		"validate a request trace (hetserve -trace-requests) instead of a build trace")
+	minStages := flag.Int("min-stages", 5,
+		"request mode: some trace must cover at least this many distinct query stages (0 disables)")
+	minTraces := flag.Int("min-traces", 1,
+		"request mode: minimum number of traces in the stream")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-min-coverage 0.9] build-trace.jsonl")
+		fmt.Fprintln(os.Stderr, "       tracecheck -requests [-min-stages 5] [-min-traces 1] request-trace.jsonl")
 		os.Exit(2)
 	}
+	if *requests {
+		checkRequests(flag.Arg(0), *minStages, *minTraces)
+		return
+	}
+
 	st, err := telemetry.ValidateTraceFile(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trace OK: %d events (%d spans, %d samples, %d counters), wall %.3fs\n",
 		st.Events, st.Spans, st.Samples, st.Counters, st.WallSec)
-	stages := make([]string, 0, len(st.StageSec))
-	for s := range st.StageSec {
-		stages = append(stages, s)
-	}
-	sort.Strings(stages)
-	for _, s := range stages {
-		fmt.Printf("  %-14s %9.4f s\n", s, st.StageSec[s])
-	}
+	printStages(st.StageSec)
 	fmt.Printf("busy+stall coverage of wall-clock: %.1f%%\n", 100*st.BusyStallCoverage)
 	if *minCov > 0 && st.BusyStallCoverage < *minCov {
 		log.Fatalf("coverage %.1f%% below the %.0f%% gate — stage spans are missing build time",
 			100*st.BusyStallCoverage, 100**minCov)
+	}
+}
+
+// checkRequests validates a request-trace stream: every record's
+// schema and span tree (including the span-sum invariant) via the
+// telemetry validator, then the stream-level gates.
+func checkRequests(path string, minStages, minTraces int) {
+	st, err := telemetry.ValidateRequestTraceFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("request traces OK: %d traces, %d spans, %d slow, %d errors\n",
+		st.Traces, st.Spans, st.Slow, st.Errors)
+	endpoints := make([]string, 0, len(st.Endpoints))
+	for e := range st.Endpoints {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		fmt.Printf("  %-10s %6d traces\n", e, st.Endpoints[e])
+	}
+	printStages(st.StageMs)
+	fmt.Printf("widest query-stage coverage in one trace: %d stages\n", st.MaxQueryStages)
+	if st.Traces < minTraces {
+		log.Fatalf("%d traces below the %d-trace gate — the load generator produced too little traffic",
+			st.Traces, minTraces)
+	}
+	if minStages > 0 && st.MaxQueryStages < minStages {
+		log.Fatalf("no trace covers %d query stages (max %d) — request spans are missing query work",
+			minStages, st.MaxQueryStages)
+	}
+}
+
+func printStages(stageVals map[string]float64) {
+	stages := make([]string, 0, len(stageVals))
+	for s := range stageVals {
+		stages = append(stages, s)
+	}
+	sort.Strings(stages)
+	for _, s := range stages {
+		fmt.Printf("  %-14s %12.4f\n", s, stageVals[s])
 	}
 }

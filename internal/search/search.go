@@ -16,6 +16,7 @@ import (
 	"fastinvert/internal/stem"
 	"fastinvert/internal/stopwords"
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 )
 
 // BM25 parameters (standard Robertson defaults).
@@ -53,6 +54,16 @@ type LiveSource interface {
 	LiveDocs() int64
 }
 
+// CtxPostingsSource is the optional context-aware extension of
+// PostingsSource. Sources that implement it receive the query context
+// on every per-term fetch, so a telemetry.RequestTrace carried by the
+// context flows down to the cache/pread/decode leaves. The searcher
+// type-asserts once at construction; sources without it keep working
+// through plain Postings.
+type CtxPostingsSource interface {
+	PostingsCtx(ctx context.Context, term string) (*postings.List, error)
+}
+
 // Searcher evaluates queries against one opened index.
 //
 // Concurrency: a Searcher is immutable after construction and safe for
@@ -60,6 +71,7 @@ type LiveSource interface {
 // and serve's cached wrapper both are).
 type Searcher struct {
 	idx     PostingsSource
+	ctxSrc  CtxPostingsSource // idx's context-aware face, when it has one
 	stop    *stopwords.Set
 	numDocs int64
 	docLens []uint32 // optional, enables BM25 length normalization
@@ -87,6 +99,9 @@ func NewWithSource(idx PostingsSource) *Searcher {
 		n = int64(maxDoc) + 1
 	}
 	s := &Searcher{idx: idx, stop: stopwords.Default(), numDocs: n}
+	if cs, ok := idx.(CtxPostingsSource); ok {
+		s.ctxSrc = cs
+	}
 	if lens := idx.DocLens(); len(lens) > 0 {
 		s.docLens = lens
 		var sum float64
@@ -143,6 +158,15 @@ func (s *Searcher) PostingsCtx(ctx context.Context, word string) (*postings.List
 	if stop || term == "" {
 		return &postings.List{}, nil
 	}
+	return s.fetch(ctx, term)
+}
+
+// fetch routes a normalized term to the context-aware source when the
+// index offers one, so request traces reach the storage layer.
+func (s *Searcher) fetch(ctx context.Context, term string) (*postings.List, error) {
+	if s.ctxSrc != nil {
+		return s.ctxSrc.PostingsCtx(ctx, term)
+	}
 	return s.idx.Postings(term)
 }
 
@@ -164,7 +188,7 @@ func (s *Searcher) AndCtx(ctx context.Context, words ...string) ([]uint32, error
 		if stop || term == "" {
 			continue
 		}
-		l, err := s.idx.Postings(term)
+		l, err := s.fetch(ctx, term)
 		if err != nil {
 			return nil, err
 		}
@@ -176,6 +200,9 @@ func (s *Searcher) AndCtx(ctx context.Context, words ...string) ([]uint32, error
 	if len(lists) == 0 {
 		return nil, nil
 	}
+	msp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageMerge)
+	msp.AddItems(int64(len(lists)))
+	defer msp.End()
 	// Intersect smallest-first to keep the candidate set minimal.
 	sort.Slice(lists, func(i, j int) bool { return lists[i].Len() < lists[j].Len() })
 	out := append([]uint32(nil), lists[0].DocIDs...)
@@ -222,11 +249,14 @@ func (s *Searcher) OrCtx(ctx context.Context, words ...string) ([]uint32, error)
 			seen[doc] = struct{}{}
 		}
 	}
+	msp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageMerge)
 	out := make([]uint32, 0, len(seen))
 	for doc := range seen {
 		out = append(out, doc)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	msp.AddItems(int64(len(out)))
+	msp.End()
 	return out, nil
 }
 
@@ -254,7 +284,7 @@ func (s *Searcher) PhraseCtx(ctx context.Context, words ...string) ([]uint32, er
 		if stop || term == "" {
 			continue
 		}
-		l, err := s.idx.Postings(term)
+		l, err := s.fetch(ctx, term)
 		if err != nil {
 			return nil, err
 		}
@@ -272,6 +302,9 @@ func (s *Searcher) PhraseCtx(ctx context.Context, words ...string) ([]uint32, er
 	if len(parts) == 1 {
 		return append([]uint32(nil), parts[0].list.DocIDs...), nil
 	}
+	msp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageMerge)
+	msp.AddItems(int64(len(parts)))
+	defer msp.End()
 
 	// Anchor on the first part; every candidate position p must have
 	// p + (offset_k - offset_0) present in part k's positions.
@@ -388,6 +421,8 @@ func (s *Searcher) TopKCtx(ctx context.Context, k int, words ...string) ([]Score
 			scores[doc] += float64(l.TFs[i]) * idf
 		}
 	}
+	rsp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageRank)
+	rsp.AddItems(int64(len(scores)))
 	h := &docHeap{}
 	heap.Init(h)
 	for doc, score := range scores {
@@ -400,6 +435,7 @@ func (s *Searcher) TopKCtx(ctx context.Context, k int, words ...string) ([]Score
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = heap.Pop(h).(ScoredDoc)
 	}
+	rsp.End()
 	return out, nil
 }
 

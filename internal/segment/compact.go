@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 )
 
 // compactPendingName is the merge output staged inside the directory
@@ -24,7 +25,7 @@ const compactPendingName = "compact.pending"
 // their segments survive untouched next to the compacted one.
 //
 // A no-op when there is at most one segment and nothing to purge.
-func (m *Manager) Compact(ctx context.Context) error {
+func (m *Manager) Compact(ctx context.Context) (err error) {
 	m.compactMu.Lock()
 	defer m.compactMu.Unlock()
 	if m.closed.Load() {
@@ -40,9 +41,16 @@ func (m *Manager) Compact(ctx context.Context) error {
 	if len(segs) == 0 || (len(segs) == 1 && !anyDeadIn(segs[0].meta, dead)) {
 		return nil
 	}
+	tr := m.opTrace("compact")
+	if tr != nil {
+		defer func() { m.finishOp(tr, err) }()
+		tr.SetAttr("segments", len(segs))
+	}
 
 	// Union dictionary: fresh slots assigned per collection in term
 	// order, so the compacted segment's table is sorted and dense.
+	msp := tr.StartSpan(telemetry.ReqStageMerge)
+	msp.AddItems(int64(len(segs)))
 	union, remaps := unionDict(segs)
 	sources := make([]store.CompactSource, len(segs))
 	for i, s := range segs {
@@ -58,14 +66,17 @@ func (m *Manager) Compact(ctx context.Context) error {
 		Drop:    dead.has,
 	})
 	if err != nil {
+		msp.End()
 		os.Remove(tmp)
 		return err
 	}
+	msp.AddBytes(stats.Bytes)
 
 	// Keep only dictionary terms whose remapped list survived the
 	// purge — fully-deleted terms vanish from both table and dict.
 	rf, err := store.OpenRunFile(tmp)
 	if err != nil {
+		msp.End()
 		os.Remove(tmp)
 		return err
 	}
@@ -76,8 +87,11 @@ func (m *Manager) Compact(ctx context.Context) error {
 		}
 	}
 	rf.Close()
+	msp.End()
 
 	// Commit: brief, under the write lock, no heavy I/O.
+	csp := tr.StartSpan(telemetry.ReqStageCommit)
+	defer csp.End()
 	m.writeMu.Lock()
 	defer m.writeMu.Unlock()
 	if m.closed.Load() {
@@ -109,6 +123,7 @@ func (m *Manager) Compact(ctx context.Context) error {
 		os.Remove(filepath.Join(m.dir, meta.Dict))
 		return err
 	}
+	seg.decodes = &m.codecDecodes
 	inputs := make(map[uint64]bool, len(segs))
 	for _, s := range segs {
 		inputs[s.meta.ID] = true

@@ -12,8 +12,14 @@ import (
 	"fastinvert/internal/encoding"
 	"fastinvert/internal/postings"
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 	"fastinvert/internal/trie"
 )
+
+// TraceSink receives finished background-operation traces (seal,
+// compaction) so the serving layer can retain them next to request
+// traces and correlate query latency with concurrent maintenance.
+type TraceSink func(*telemetry.RequestTrace)
 
 // ErrUnknownDoc reports a Delete of a docID that was never assigned.
 var ErrUnknownDoc = errors.New("segment: unknown document")
@@ -103,6 +109,12 @@ type Manager struct {
 	seals       atomic.Uint64
 	compactions atomic.Uint64
 
+	// codecDecodes counts sealed-segment list decodes per codec, the
+	// live-mode counterpart of store.ReaderStats.CodecDecodes.
+	codecDecodes [encoding.NumCodecs]atomic.Uint64
+
+	traceSink atomic.Pointer[TraceSink]
+
 	errMu          sync.Mutex
 	lastCompactErr error
 }
@@ -150,6 +162,9 @@ func Open(dir string, opts Options) (*Manager, error) {
 	}
 	mem := newMemtable(man.NextDoc, opts.Positional)
 	m := &Manager{dir: dir, opts: opts, sel: sel, man: man, mem: mem}
+	for _, s := range segs {
+		s.decodes = &m.codecDecodes
+	}
 	m.opts.Codec = codec
 	m.nextDoc.Store(man.NextDoc)
 	m.purged.Store(man.Purged)
@@ -164,6 +179,53 @@ func Open(dir string, opts Options) (*Manager, error) {
 // safe cache-key component: postings cached under one generation can
 // never serve a later state.
 func (m *Manager) Gen() uint64 { return m.gen.Load() }
+
+// SetTraceSink installs (or clears, with nil) the receiver for
+// background-operation traces. Until a sink is set, seal and
+// compaction tracing is off entirely — the operations run with inert
+// span handles.
+func (m *Manager) SetTraceSink(fn TraceSink) {
+	if fn == nil {
+		m.traceSink.Store(nil)
+		return
+	}
+	m.traceSink.Store(&fn)
+}
+
+// opTrace starts a background-operation trace when a sink is
+// installed, nil otherwise (every span call on nil is a no-op).
+func (m *Manager) opTrace(op string) *telemetry.RequestTrace {
+	if m.traceSink.Load() == nil {
+		return nil
+	}
+	return telemetry.NewRequestTrace(op)
+}
+
+// finishOp seals an operation trace and hands it to the sink.
+func (m *Manager) finishOp(tr *telemetry.RequestTrace, err error) {
+	if tr == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	tr.SetGeneration(m.gen.Load())
+	tr.Finish(0, msg)
+	if fn := m.traceSink.Load(); fn != nil {
+		(*fn)(tr)
+	}
+}
+
+// CodecDecodes reports sealed-segment list decodes per codec name,
+// mirroring store.ReaderStats.CodecDecodes for the live path.
+func (m *Manager) CodecDecodes() map[string]uint64 {
+	out := make(map[string]uint64, len(encoding.Codecs()))
+	for _, c := range encoding.Codecs() {
+		out[c.Name()] = m.codecDecodes[c.ID()].Load()
+	}
+	return out
+}
 
 // NumDocs reports the number of docIDs assigned (including deleted).
 func (m *Manager) NumDocs() uint32 { return m.nextDoc.Load() }
@@ -264,18 +326,32 @@ func (m *Manager) Postings(term string) (*postings.List, error) {
 // memtable portion. Cache layers use it to charge budgets by what the
 // postings cost at rest rather than their decoded footprint.
 func (m *Manager) PostingsSized(term string) (*postings.List, int64, error) {
+	return m.PostingsSizedCtx(context.Background(), term)
+}
+
+// PostingsSizedCtx is PostingsSized under a context. A
+// telemetry.RequestTrace carried by ctx sees the live read anatomy:
+// one merge span over the sealed-segment fan-out (with per-segment
+// dict/pread/decode children) and one memtable span for the in-memory
+// tail, plus the view generation the query ran against.
+func (m *Manager) PostingsSizedCtx(ctx context.Context, term string) (*postings.List, int64, error) {
 	v, err := m.acquire()
 	if err != nil {
 		return nil, 0, err
 	}
 	defer v.release()
+	tr := telemetry.TraceFrom(ctx)
+	tr.SetGeneration(v.gen)
 	dead := m.tomb.Load()
 	coll := int32(trie.IndexString(term))
 	out := &postings.List{}
 	var enc int64
+	msp := tr.StartSpan(telemetry.ReqStageMerge)
+	msp.AddItems(int64(len(v.segs)))
 	for _, s := range v.segs {
-		part, n, err := s.postings(coll, term)
+		part, n, err := s.postingsCtx(ctx, coll, term)
 		if err != nil {
+			msp.End()
 			return nil, 0, err
 		}
 		if part == nil {
@@ -283,15 +359,20 @@ func (m *Manager) PostingsSized(term string) (*postings.List, int64, error) {
 		}
 		enc += n
 		if err := appendLive(out, part, dead); err != nil {
+			msp.End()
 			return nil, 0, err
 		}
 	}
+	msp.End()
+	memsp := tr.StartSpan(telemetry.ReqStageMemtable)
 	if part := v.mem.postings(term); part != nil {
 		enc += memEncodedEstimate(part)
 		if err := appendLive(out, part, dead); err != nil {
+			memsp.End()
 			return nil, 0, err
 		}
 	}
+	memsp.End()
 	return out, enc, nil
 }
 
@@ -417,9 +498,13 @@ func dictFileName(id uint64) string { return fmt.Sprintf("seg-%06d.dict", id) }
 // tombstones over the new frontier, then swap the view. Queries keep
 // running throughout — only the final pointer swap takes the write
 // side of mu, and it does no I/O.
-func (m *Manager) sealLocked() error {
+func (m *Manager) sealLocked() (err error) {
 	if m.mem.numDocs() == 0 {
 		return nil
+	}
+	tr := m.opTrace("seal")
+	if tr != nil {
+		defer func() { m.finishOp(tr, err) }()
 	}
 	next := m.nextDoc.Load()
 	id := m.man.NextSeg
@@ -431,25 +516,39 @@ func (m *Manager) sealLocked() error {
 		LastDoc:  next - 1,
 		Docs:     next - m.mem.firstDoc,
 	}
+	tr.SetAttr("segment", id)
+	tr.SetAttr("docs", meta.Docs)
+	esp := tr.StartSpan(telemetry.ReqStageEncode)
 	data, dict, lists, err := m.mem.seal(m.sel, next-1)
 	if err != nil {
+		esp.End()
 		return err
 	}
+	esp.AddBytes(int64(len(data)))
+	esp.AddItems(int64(lists))
+	esp.End()
 	meta.Lists = lists
 	meta.Bytes = int64(len(data))
+	wsp := tr.StartSpan(telemetry.ReqStageWrite)
+	wsp.AddBytes(int64(len(data)))
 	if err := writeFileAtomic(filepath.Join(m.dir, meta.File), data); err != nil {
+		wsp.End()
 		return err
 	}
 	if err := writeDictFile(m.dir, meta.Dict, dict); err != nil {
+		wsp.End()
 		os.Remove(filepath.Join(m.dir, meta.File))
 		return err
 	}
 	seg, err := openSegment(m.dir, meta)
+	wsp.End()
 	if err != nil {
 		os.Remove(filepath.Join(m.dir, meta.File))
 		os.Remove(filepath.Join(m.dir, meta.Dict))
 		return err
 	}
+	seg.decodes = &m.codecDecodes
+	csp := tr.StartSpan(telemetry.ReqStageCommit)
 	newMan := &Manifest{
 		Version:  manifestVersion,
 		NextDoc:  next,
@@ -458,6 +557,7 @@ func (m *Manager) sealLocked() error {
 		Segments: append(append([]SegmentMeta(nil), m.man.Segments...), meta),
 	}
 	if err := newMan.save(m.dir); err != nil {
+		csp.End()
 		seg.run.Close()
 		os.Remove(filepath.Join(m.dir, meta.File))
 		os.Remove(filepath.Join(m.dir, meta.Dict))
@@ -466,6 +566,7 @@ func (m *Manager) sealLocked() error {
 	// Manifest first, then tombstones: a crash between the two loses
 	// recent deletions, never resurrects stale ones (see Open).
 	if err := saveTombstones(m.dir, m.tomb.Load(), next); err != nil {
+		csp.End()
 		return err
 	}
 	newMem := newMemtable(next, m.opts.Positional)
@@ -479,6 +580,7 @@ func (m *Manager) sealLocked() error {
 	nSegs := len(segs)
 	m.mu.Unlock()
 	old.release()
+	csp.End()
 	m.seals.Add(1)
 	if m.opts.CompactAt > 0 && nSegs >= m.opts.CompactAt {
 		m.startBackgroundCompaction()

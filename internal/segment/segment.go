@@ -1,13 +1,16 @@
 package segment
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 
+	"fastinvert/internal/encoding"
 	"fastinvert/internal/postings"
 	"fastinvert/internal/store"
+	"fastinvert/internal/telemetry"
 )
 
 // segment is one immutable sealed segment: an open run-format postings
@@ -19,6 +22,10 @@ type segment struct {
 	run  *store.RunFile
 	dict []store.DictEntry
 	refs atomic.Int64
+
+	// decodes points at the owning Manager's per-codec decode counters
+	// (nil for segments opened outside a manager, e.g. in tests).
+	decodes *[encoding.NumCodecs]atomic.Uint64
 }
 
 // openSegment opens and cross-checks a segment's files against its
@@ -73,7 +80,16 @@ func (s *segment) release() {
 // postings returns the term's list in this segment (nil when absent)
 // plus its encoded on-disk size.
 func (s *segment) postings(coll int32, term string) (*postings.List, int64, error) {
+	return s.postingsCtx(context.Background(), coll, term)
+}
+
+// postingsCtx is postings under a (possibly traced) context: the
+// dictionary probe gets a dict span and the list fetch flows through
+// store.RunFile.ReadListCtx for pread/decode spans.
+func (s *segment) postingsCtx(ctx context.Context, coll int32, term string) (*postings.List, int64, error) {
+	dsp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageDict)
 	e, ok := store.Lookup(s.dict, coll, term)
+	dsp.End()
 	if !ok {
 		return nil, 0, nil
 	}
@@ -82,7 +98,12 @@ func (s *segment) postings(coll int32, term string) (*postings.List, int64, erro
 		return nil, 0, fmt.Errorf("segment %d: dictionary slot (%d,%d) has no list: %w",
 			s.meta.ID, e.Collection, e.Slot, store.ErrCorruptIndex)
 	}
-	l, err := s.run.ReadList(re)
+	if s.decodes != nil {
+		if id := re.Codec(); id < encoding.NumCodecs {
+			s.decodes[id].Add(1)
+		}
+	}
+	l, err := s.run.ReadListCtx(ctx, re)
 	if err != nil {
 		return nil, 0, fmt.Errorf("segment %d: %w", s.meta.ID, err)
 	}

@@ -14,17 +14,20 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fastinvert/internal/postings"
+	"fastinvert/internal/telemetry"
 )
 
 // CacheStats is a point-in-time aggregate over all shards.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Bytes     int64  `json:"bytes"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Evictions    uint64 `json:"evictions"`
+	EvictedBytes uint64 `json:"evicted_bytes"`
+	Entries      int    `json:"entries"`
+	Bytes        int64  `json:"bytes"`
 }
 
 // HitRate is hits/(hits+misses), 0 before any lookup.
@@ -57,15 +60,17 @@ type cacheShard struct {
 	lru     list.List // front = most recently used
 	bytes   int64
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	evictions    atomic.Uint64
+	evictedBytes atomic.Uint64
 }
 
 type cacheEntry struct {
-	term string
-	list *postings.List
-	size int64
+	term  string
+	list  *postings.List
+	size  int64
+	added time.Time
 }
 
 // NewPostingsCache builds a cache with the given shard count (rounded
@@ -154,17 +159,18 @@ func (c *PostingsCache) put(term string, l *postings.List, size int64) {
 	if size > s.maxBytes {
 		return
 	}
+	now := time.Now()
 	s.mu.Lock()
 	if el, ok := s.entries[term]; ok {
 		e := el.Value.(*cacheEntry)
 		s.bytes += size - e.size
-		e.list, e.size = l, size
+		e.list, e.size, e.added = l, size, now
 		s.lru.MoveToFront(el)
 	} else {
-		s.entries[term] = s.lru.PushFront(&cacheEntry{term: term, list: l, size: size})
+		s.entries[term] = s.lru.PushFront(&cacheEntry{term: term, list: l, size: size, added: now})
 		s.bytes += size
 	}
-	evicted := uint64(0)
+	evicted, evictedBytes := uint64(0), uint64(0)
 	for s.bytes > s.maxBytes {
 		back := s.lru.Back()
 		e := back.Value.(*cacheEntry)
@@ -172,10 +178,12 @@ func (c *PostingsCache) put(term string, l *postings.List, size int64) {
 		delete(s.entries, e.term)
 		s.bytes -= e.size
 		evicted++
+		evictedBytes += uint64(e.size)
 	}
 	s.mu.Unlock()
 	if evicted > 0 {
 		s.evictions.Add(evicted)
+		s.evictedBytes.Add(evictedBytes)
 	}
 }
 
@@ -207,6 +215,15 @@ func (c *PostingsCache) Evictions() uint64 {
 	return n
 }
 
+// EvictedBytes sums the bytes charged for evicted entries, lock-free.
+func (c *PostingsCache) EvictedBytes() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].evictedBytes.Load()
+	}
+	return n
+}
+
 // Stats aggregates counters and occupancy across shards.
 func (c *PostingsCache) Stats() CacheStats {
 	var st CacheStats
@@ -215,12 +232,53 @@ func (c *PostingsCache) Stats() CacheStats {
 		st.Hits += s.hits.Load()
 		st.Misses += s.misses.Load()
 		st.Evictions += s.evictions.Load()
+		st.EvictedBytes += s.evictedBytes.Load()
 		s.mu.Lock()
 		st.Entries += len(s.entries)
 		st.Bytes += s.bytes
 		s.mu.Unlock()
 	}
 	return st
+}
+
+// AgeHist walks every resident entry and buckets its age in seconds
+// against bounds, producing a point-in-time histogram snapshot for a
+// func-backed /metrics series. Runs under the shard locks — scrape
+// frequency, not query frequency.
+func (c *PostingsCache) AgeHist(bounds []float64) telemetry.HistSnapshot {
+	now := time.Now()
+	return c.histOver(bounds, func(e *cacheEntry) float64 {
+		return now.Sub(e.added).Seconds()
+	})
+}
+
+// SizeHist buckets each resident entry's charged size in bytes against
+// bounds, like AgeHist a scrape-time snapshot.
+func (c *PostingsCache) SizeHist(bounds []float64) telemetry.HistSnapshot {
+	return c.histOver(bounds, func(e *cacheEntry) float64 {
+		return float64(e.size)
+	})
+}
+
+func (c *PostingsCache) histOver(bounds []float64, val func(*cacheEntry) float64) telemetry.HistSnapshot {
+	snap := telemetry.HistSnapshot{Counts: make([]uint64, len(bounds))}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			v := val(el.Value.(*cacheEntry))
+			snap.Sum += v
+			snap.Count++
+			for b, ub := range bounds {
+				if v <= ub {
+					snap.Counts[b]++
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return snap
 }
 
 // ListBytes estimates the resident size of a decoded postings list:

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastinvert/internal/encoding"
@@ -35,8 +37,32 @@ type Config struct {
 	QueryTimeout time.Duration
 	// MaxK caps the k parameter of ranked queries (default 1000).
 	MaxK int
-	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ and labels
+	// query goroutines with pprof labels (endpoint, generation).
 	EnablePprof bool
+	// SampleEvery head-samples one request in N into a full request
+	// trace (span tree, per-stage histograms, /debug/trace retention).
+	// 0 disables request tracing; 1 traces everything.
+	SampleEvery int
+	// SlowQuery is the tail-sampling latency threshold: requests at or
+	// above it enter the slow-query log (and, when also head-sampled,
+	// their traces are pinned against ring eviction). 0 selects 250ms;
+	// negative treats every request as slow — useful for trace-capture
+	// harnesses.
+	SlowQuery time.Duration
+	// TraceBufferSize bounds the in-memory trace retention ring served
+	// by /debug/trace (default 256).
+	TraceBufferSize int
+	// SlowLogSize bounds the slow-query ring served by /debug/slowlog
+	// (default 128).
+	SlowLogSize int
+	// DrainTimeout bounds how long Close waits for in-flight requests
+	// to finish before closing the worker pool (default 5s).
+	DrainTimeout time.Duration
+	// ReqTraces, when non-nil, additionally streams every sampled trace
+	// as a JSON line — the format cmd/tracecheck -requests validates.
+	// The writer's lifetime belongs to the caller.
+	ReqTraces *telemetry.ReqTraceWriter
 	// Registry receives the server's metric families and is served at
 	// /metrics in Prometheus text format. nil allocates a private one;
 	// pass a shared registry to co-publish with other subsystems. Cache
@@ -61,6 +87,18 @@ func (c *Config) fill() {
 	if c.MaxK <= 0 {
 		c.MaxK = 1000
 	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 250 * time.Millisecond
+	}
+	if c.TraceBufferSize <= 0 {
+		c.TraceBufferSize = 256
+	}
+	if c.SlowLogSize <= 0 {
+		c.SlowLogSize = 128
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
 	if c.Registry == nil {
 		c.Registry = telemetry.NewRegistry()
 	}
@@ -82,6 +120,32 @@ func (cs *cachedSource) Postings(term string) (*postings.List, error) {
 		return l, nil
 	}
 	l, enc, err := cs.idx.PostingsEncoded(term)
+	if err != nil {
+		return nil, err
+	}
+	cs.cache.PutSized(term, l, enc)
+	return l, nil
+}
+
+// PostingsCtx is Postings under a traced context: the cache probe gets
+// a cache span noting hit/miss, and a miss flows through the reader's
+// context-aware path so its dict/pread/decode spans land in the same
+// trace. An untraced context takes the exact allocation-free path
+// Postings does.
+func (cs *cachedSource) PostingsCtx(ctx context.Context, term string) (*postings.List, error) {
+	tr := telemetry.TraceFrom(ctx)
+	if tr == nil {
+		return cs.Postings(term)
+	}
+	csp := tr.StartSpan(telemetry.ReqStageCache)
+	if l, ok := cs.cache.Get(term); ok {
+		csp.SetNote("hit")
+		csp.End()
+		return l, nil
+	}
+	csp.SetNote("miss")
+	csp.End()
+	l, enc, err := cs.idx.PostingsEncodedCtx(ctx, term)
 	if err != nil {
 		return nil, err
 	}
@@ -122,6 +186,35 @@ func (ls *liveSource) Postings(term string) (*postings.List, error) {
 	return l, nil
 }
 
+// PostingsCtx mirrors cachedSource.PostingsCtx for the live index: a
+// cache span around the generation-keyed probe, then the manager's
+// traced fan-out (memtable + sealed segments) on a miss.
+func (ls *liveSource) PostingsCtx(ctx context.Context, term string) (*postings.List, error) {
+	tr := telemetry.TraceFrom(ctx)
+	if tr == nil {
+		return ls.Postings(term)
+	}
+	gen := ls.mgr.Gen()
+	tr.SetGeneration(gen)
+	key := term + "#" + strconv.FormatUint(gen, 10)
+	csp := tr.StartSpan(telemetry.ReqStageCache)
+	if l, ok := ls.cache.Get(key); ok {
+		csp.SetNote("hit")
+		csp.End()
+		return l, nil
+	}
+	csp.SetNote("miss")
+	csp.End()
+	l, enc, err := ls.mgr.PostingsSizedCtx(ctx, term)
+	if err != nil {
+		return nil, err
+	}
+	if ls.mgr.Gen() == gen {
+		ls.cache.PutSized(key, l, enc)
+	}
+	return l, nil
+}
+
 func (ls *liveSource) DocLens() []uint32             { return ls.mgr.DocLens() }
 func (ls *liveSource) Runs() []store.RunMeta         { return ls.mgr.Runs() }
 func (ls *liveSource) Dictionary() []store.DictEntry { return ls.mgr.Dictionary() }
@@ -140,22 +233,43 @@ type Server struct {
 	metrics  *Metrics
 	cfg      Config
 	mux      *http.ServeMux
+
+	// Observability layer (see trace.go): head/tail sampler, retained
+	// traces, the slow-query ring, and lazily-registered per-stage
+	// histograms. inflight/closing implement drain-on-Close.
+	sampler     *telemetry.Sampler
+	traces      *telemetry.TraceBuffer
+	slowlog     *telemetry.SlowLog
+	slowQueries atomic.Uint64
+	inflight    atomic.Int64
+	closing     atomic.Bool
+	stageMu     sync.Mutex
+	stageHists  map[stageKey]*telemetry.Histogram
+}
+
+// newServer builds the parts common to both modes.
+func newServer(cfg Config) *Server {
+	cache := NewPostingsCache(cfg.CacheShards, cfg.CacheBytes)
+	return &Server{
+		cache:      cache,
+		pool:       NewPool(cfg.Workers),
+		metrics:    NewMetricsOn(cfg.Registry),
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		sampler:    telemetry.NewSampler(cfg.SampleEvery, cfg.SlowQuery),
+		traces:     telemetry.NewTraceBuffer(cfg.TraceBufferSize),
+		slowlog:    telemetry.NewSlowLog(cfg.SlowLogSize),
+		stageHists: make(map[stageKey]*telemetry.Histogram),
+	}
 }
 
 // New wires the cache, worker pool and HTTP routes around an opened
 // index.
 func New(idx *store.IndexReader, cfg Config) *Server {
 	cfg.fill()
-	cache := NewPostingsCache(cfg.CacheShards, cfg.CacheBytes)
-	s := &Server{
-		idx:      idx,
-		cache:    cache,
-		searcher: search.NewWithSource(&cachedSource{idx: idx, cache: cache}),
-		pool:     NewPool(cfg.Workers),
-		metrics:  NewMetricsOn(cfg.Registry),
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-	}
+	s := newServer(cfg)
+	s.idx = idx
+	s.searcher = search.NewWithSource(&cachedSource{idx: idx, cache: s.cache})
 	s.registerCommonMetrics(cfg.Registry)
 	s.registerStaticMetrics(cfg.Registry)
 	s.registerRoutes()
@@ -169,31 +283,36 @@ func New(idx *store.IndexReader, cfg Config) *Server {
 // like the static reader's.
 func NewLive(mgr *segment.Manager, cfg Config) *Server {
 	cfg.fill()
-	cache := NewPostingsCache(cfg.CacheShards, cfg.CacheBytes)
-	s := &Server{
-		live:     mgr,
-		cache:    cache,
-		searcher: search.NewWithSource(&liveSource{mgr: mgr, cache: cache}),
-		pool:     NewPool(cfg.Workers),
-		metrics:  NewMetricsOn(cfg.Registry),
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-	}
+	s := newServer(cfg)
+	s.live = mgr
+	s.searcher = search.NewWithSource(&liveSource{mgr: mgr, cache: s.cache})
 	s.registerCommonMetrics(cfg.Registry)
 	s.registerLiveMetrics(cfg.Registry)
 	s.registerRoutes()
-	s.mux.HandleFunc("/ingest", s.handleIngest)
-	s.mux.HandleFunc("/delete", s.handleDelete)
-	s.mux.HandleFunc("/seal", s.handleSeal)
-	s.mux.HandleFunc("/compact", s.handleCompact)
+	s.mux.HandleFunc("/ingest", s.instrument("ingest", s.handleIngest))
+	s.mux.HandleFunc("/delete", s.instrument("delete", s.handleDelete))
+	s.mux.HandleFunc("/seal", s.instrument("seal", s.handleSeal))
+	s.mux.HandleFunc("/compact", s.instrument("compact", s.handleCompact))
+	if s.sampler.Enabled() {
+		// Background seals and compactions report their own operation
+		// traces through the same retention ring and trace stream, so a
+		// slow query can be correlated with the maintenance work that
+		// ran beside it.
+		mgr.SetTraceSink(func(t *telemetry.RequestTrace) {
+			s.traces.Add(t)
+			s.cfg.ReqTraces.Write(t)
+		})
+	}
 	return s
 }
 
 func (s *Server) registerRoutes() {
-	s.mux.HandleFunc("/search", s.handleSearch)
-	s.mux.HandleFunc("/postings", s.handlePostings)
+	s.mux.HandleFunc("/search", s.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("/postings", s.instrument("postings", s.handlePostings))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/debug/vars", s.handleVars)
+	s.mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	s.mux.HandleFunc("/debug/trace", s.handleTraceDump)
 	s.mux.Handle("/metrics", s.cfg.Registry.Handler())
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -231,6 +350,25 @@ func (s *Server) registerCommonMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("hetserve_pool_completed_total",
 		"Queries completed by the worker pool.",
 		func() float64 { return float64(s.pool.Stats().Completed) })
+	reg.CounterFunc("hetserve_cache_evicted_bytes_total",
+		"Bytes charged for entries evicted from the postings cache.",
+		func() float64 { return float64(s.cache.EvictedBytes()) })
+	// Resident-entry shape, walked under the shard locks only when
+	// /metrics is scraped: how old and how large the cached lists are.
+	ageBounds := telemetry.ExpBuckets(1, 4, 8)
+	reg.HistogramFunc("hetserve_cache_entry_age_seconds",
+		"Age distribution of resident postings-cache entries.",
+		ageBounds, func() telemetry.HistSnapshot { return s.cache.AgeHist(ageBounds) })
+	sizeBounds := telemetry.ExpBuckets(64, 4, 8)
+	reg.HistogramFunc("hetserve_cache_entry_bytes",
+		"Charged-size distribution of resident postings-cache entries.",
+		sizeBounds, func() telemetry.HistSnapshot { return s.cache.SizeHist(sizeBounds) })
+	reg.GaugeFunc("hetserve_inflight_requests",
+		"HTTP requests currently inside an instrumented handler.",
+		func() float64 { return float64(s.inflight.Load()) })
+	reg.CounterFunc("hetserve_slow_queries_total",
+		"Requests at or above the slow-query threshold.",
+		func() float64 { return float64(s.slowQueries.Load()) })
 }
 
 // registerStaticMetrics publishes the static reader's index-shape and
@@ -307,6 +445,14 @@ func (s *Server) registerLiveMetrics(reg *telemetry.Registry) {
 	reg.GaugeFunc("hetserve_live_generation",
 		"Current index generation (advances on every visible mutation).",
 		func() float64 { return float64(s.live.Gen()) })
+	// Per-codec decode counters, mirroring the static reader's set: which
+	// registered codecs the sealed-segment read path actually exercised.
+	for _, c := range encoding.Codecs() {
+		name := c.Name()
+		reg.CounterFunc("hetserve_store_decode_"+name+"_total",
+			"Postings lists decoded with the "+name+" codec.",
+			func() float64 { return float64(s.live.CodecDecodes()[name]) })
+	}
 }
 
 // Handler returns the route multiplexer.
@@ -319,9 +465,22 @@ func (s *Server) Registry() *telemetry.Registry { return s.cfg.Registry }
 // CacheStats exposes the postings-cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
-// Close drains the worker pool gracefully: in-flight queries finish,
-// new ones fail fast.
-func (s *Server) Close() { s.pool.Close() }
+// Close shuts the server down gracefully: new requests are refused
+// with 503, in-flight ones get up to DrainTimeout to finish, then the
+// worker pool closes (which itself lets running queries complete).
+// Idempotent; concurrent calls all wait for the pool to drain.
+func (s *Server) Close() {
+	if !s.closing.Swap(true) {
+		deadline := time.Now().Add(s.cfg.DrainTimeout)
+		for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s.pool.Close()
+}
+
+// Inflight reports the requests currently inside instrumented handlers.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
 
 // searchResponse is the /search JSON shape.
 type searchResponse struct {
@@ -375,7 +534,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	resp := searchResponse{Query: q, Mode: mode}
 	t0 := time.Now()
+	// The wait span measures time spent queued behind the bounded pool:
+	// it opens before submission and the worker's first act is to close
+	// it, so everything after nests as its siblings.
+	wsp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageWait)
 	err := s.pool.Do(ctx, func(ctx context.Context) error {
+		wsp.End()
 		switch mode {
 		case "and":
 			docs, err := s.searcher.AndCtx(ctx, words...)
@@ -466,7 +630,9 @@ func (s *Server) handlePostings(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	resp := postingsResponse{Term: word, Normalized: norm}
 	t0 := time.Now()
+	wsp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageWait)
 	err := s.pool.Do(ctx, func(ctx context.Context) error {
+		wsp.End()
 		l, err := s.searcher.PostingsCtx(ctx, word)
 		if err != nil {
 			return err

@@ -14,6 +14,7 @@ import (
 
 	"fastinvert/internal/encoding"
 	"fastinvert/internal/postings"
+	"fastinvert/internal/telemetry"
 )
 
 // This file holds the shared sharded k-way merge core behind both
@@ -636,11 +637,30 @@ func (r *RunFile) Find(coll, slot uint32) (RunEntry, bool) { return r.rr.find(co
 
 // ReadList fetches and decodes one entry's postings list.
 func (r *RunFile) ReadList(e RunEntry) (*postings.List, error) {
+	return r.ReadListCtx(context.Background(), e)
+}
+
+// ReadListCtx is ReadList attributing the positioned read and the
+// codec decode to a telemetry.RequestTrace when ctx carries one — the
+// leaf spans of a live-index query. Untraced contexts take the same
+// path with inert span handles.
+func (r *RunFile) ReadListCtx(ctx context.Context, e RunEntry) (*postings.List, error) {
+	tr := telemetry.TraceFrom(ctx)
+	psp := tr.StartSpan(telemetry.ReqStagePread)
 	blob, err := r.rr.readBlob(e)
+	psp.AddBytes(int64(e.Length))
+	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("store: %s: %w", r.rr.name, err)
 	}
+	dsp := tr.StartSpan(telemetry.ReqStageDecode)
 	l, err := decodeEntry(blob, e)
+	if tr != nil {
+		if c, cerr := encoding.Lookup(e.Codec()); cerr == nil {
+			dsp.SetNote(c.Name())
+		}
+	}
+	dsp.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", r.rr.name, err)
 	}

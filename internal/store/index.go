@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -14,6 +15,7 @@ import (
 
 	"fastinvert/internal/encoding"
 	"fastinvert/internal/postings"
+	"fastinvert/internal/telemetry"
 	"fastinvert/internal/trie"
 )
 
@@ -599,13 +601,29 @@ func (r *IndexReader) Postings(term string) (*postings.List, error) {
 	return r.PostingsRange(term, 0, ^uint32(0))
 }
 
+// PostingsCtx is Postings under a context. When ctx carries a
+// telemetry.RequestTrace the fetch is attributed span by span
+// (dictionary lookup, pread, per-codec decode, per-run merge);
+// otherwise it is exactly Postings — the trace probe is a single
+// allocation-free context lookup.
+func (r *IndexReader) PostingsCtx(ctx context.Context, term string) (*postings.List, error) {
+	l, _, err := r.postingsRange(ctx, term, 0, ^uint32(0))
+	return l, err
+}
+
+// PostingsEncodedCtx is PostingsEncoded under a (possibly traced)
+// context.
+func (r *IndexReader) PostingsEncodedCtx(ctx context.Context, term string) (*postings.List, int64, error) {
+	return r.postingsRange(ctx, term, 0, ^uint32(0))
+}
+
 // PostingsRange restricts the fetch to [minDoc, maxDoc]. On the
 // per-run path only runs whose doc ranges overlap are touched — the
 // paper's "faster search when narrowed down to a range of document
 // IDs" benefit of the per-run format; the merged path slices the
 // single list by binary search.
 func (r *IndexReader) PostingsRange(term string, minDoc, maxDoc uint32) (*postings.List, error) {
-	l, _, err := r.postingsRange(term, minDoc, maxDoc)
+	l, _, err := r.postingsRange(context.Background(), term, minDoc, maxDoc)
 	return l, err
 }
 
@@ -615,15 +633,18 @@ func (r *IndexReader) PostingsRange(term string, minDoc, maxDoc uint32) (*postin
 // serve cache charges this size instead of the decoded estimate, so
 // better-compressed lists leave room for more cached entries.
 func (r *IndexReader) PostingsEncoded(term string) (*postings.List, int64, error) {
-	return r.postingsRange(term, 0, ^uint32(0))
+	return r.postingsRange(context.Background(), term, 0, ^uint32(0))
 }
 
-func (r *IndexReader) postingsRange(term string, minDoc, maxDoc uint32) (*postings.List, int64, error) {
+func (r *IndexReader) postingsRange(ctx context.Context, term string, minDoc, maxDoc uint32) (*postings.List, int64, error) {
 	if err := r.checkClosed(); err != nil {
 		return nil, 0, err
 	}
+	tr := telemetry.TraceFrom(ctx)
 	coll := trie.IndexString(term)
+	dsp := tr.StartSpan(telemetry.ReqStageDict)
 	e, ok := Lookup(r.dict, int32(coll), term)
+	dsp.End()
 	if !ok {
 		return &postings.List{}, 0, nil
 	}
@@ -632,7 +653,7 @@ func (r *IndexReader) postingsRange(term string, minDoc, maxDoc uint32) (*postin
 	m := r.merged
 	r.mu.Unlock()
 	if m != nil {
-		l, enc, err := r.lookupList(m.key, m.rr, uint32(e.Collection), uint32(e.Slot), m.find)
+		l, enc, err := r.lookupList(tr, m.key, m.rr, uint32(e.Collection), uint32(e.Slot), m.find)
 		if err == nil {
 			r.mergedHits.Add(1)
 			return sliceRange(l, minDoc, maxDoc), enc, nil
@@ -646,6 +667,8 @@ func (r *IndexReader) postingsRange(term string, minDoc, maxDoc uint32) (*postin
 	}
 
 	r.runFallbacks.Add(1)
+	msp := tr.StartSpan(telemetry.ReqStageMerge)
+	msp.SetNote("run-fallback")
 	out := &postings.List{}
 	var encoded int64
 	for _, rm := range r.runs {
@@ -654,21 +677,26 @@ func (r *IndexReader) postingsRange(term string, minDoc, maxDoc uint32) (*postin
 		}
 		rr, err := r.runFile(rm)
 		if err != nil {
+			msp.End()
 			return nil, 0, err
 		}
-		part, enc, err := r.lookupList(rr.name, rr, uint32(e.Collection), uint32(e.Slot),
+		part, enc, err := r.lookupList(tr, rr.name, rr, uint32(e.Collection), uint32(e.Slot),
 			func(c, s uint32) (RunEntry, bool) { return rr.find(c, s) })
 		if err != nil {
+			msp.End()
 			return nil, 0, err
 		}
 		if part == nil {
 			continue
 		}
+		msp.AddItems(1)
 		encoded += enc
 		if err := postings.Concat(out, part); err != nil {
+			msp.End()
 			return nil, 0, fmt.Errorf("store: %s: %w", rm.File, err)
 		}
 	}
+	msp.End()
 	// Trim postings the boundary runs carry outside [minDoc, maxDoc] so
 	// both paths return the same exact range.
 	return sliceRange(out, minDoc, maxDoc), encoded, nil
@@ -680,7 +708,7 @@ func (r *IndexReader) postingsRange(term string, minDoc, maxDoc uint32) (*postin
 // return is the entry's encoded byte length, known before the cache is
 // consulted. A list the file does not hold returns (nil, 0, nil).
 // Returned lists are shared and must not be mutated.
-func (r *IndexReader) lookupList(cacheFile string, rr *runReader, coll, slot uint32,
+func (r *IndexReader) lookupList(tr *telemetry.RequestTrace, cacheFile string, rr *runReader, coll, slot uint32,
 	find func(uint32, uint32) (RunEntry, bool)) (*postings.List, int64, error) {
 	e, ok := find(coll, slot)
 	if !ok {
@@ -690,12 +718,22 @@ func (r *IndexReader) lookupList(cacheFile string, rr *runReader, coll, slot uin
 	if l, ok := r.cache.get(key); ok {
 		return l, int64(e.Length), nil
 	}
+	psp := tr.StartSpan(telemetry.ReqStagePread)
 	blob, err := rr.readBlob(e)
+	psp.AddBytes(int64(e.Length))
+	psp.End()
 	if err != nil {
 		return nil, 0, r.readErr(rr.name, err)
 	}
 	r.listBytes.Add(uint64(e.Length))
+	dsp := tr.StartSpan(telemetry.ReqStageDecode)
 	l, err := r.decodeEntry(blob, e)
+	if tr != nil {
+		if c, cerr := encoding.Lookup(e.Codec()); cerr == nil {
+			dsp.SetNote(c.Name())
+		}
+	}
+	dsp.End()
 	if err != nil {
 		return nil, 0, fmt.Errorf("%s: %w", rr.name, err)
 	}

@@ -174,11 +174,13 @@ func (k metricKind) String() string {
 
 // series is one labeled instance within a family.
 type series struct {
-	labels  string // rendered {k="v",...} or ""
-	counter *Counter
-	gauge   *Gauge
-	hist    *Histogram
-	fn      func() float64 // func-backed counter/gauge, read at scrape
+	labels     string // rendered {k="v",...} or ""
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+	fn         func() float64      // func-backed counter/gauge, read at scrape
+	histFn     func() HistSnapshot // func-backed histogram, read at scrape
+	histBounds []float64           // bounds for histFn rendering
 }
 
 // family groups all series of one metric name.
@@ -302,6 +304,31 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return s.hist
 }
 
+// HistSnapshot is a point-in-time distribution returned by a
+// HistogramFunc callback: per-bucket (non-cumulative) counts aligned
+// with the registered bounds, the total observation count (including
+// the overflow bucket), and the value sum.
+type HistSnapshot struct {
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// HistogramFunc registers a histogram whose distribution is computed
+// at scrape time — for populations that already exist elsewhere (e.g.
+// the ages and sizes of resident cache entries), where walking the
+// source on scrape beats observing every mutation on the hot path.
+func (r *Registry) HistogramFunc(name, help string, bounds []float64, fn func() HistSnapshot, labels ...Label) {
+	s := r.lookup(name, help, kindHistogram, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	s.histBounds = append([]float64(nil), bounds...)
+	s.histFn = fn
+}
+
 // fmtFloat renders a sample value the way Prometheus expects.
 func fmtFloat(v float64) string {
 	switch {
@@ -357,6 +384,9 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(v))
 		return err
 	default:
+		if s.histFn != nil {
+			return writeHistSnapshot(w, f, s)
+		}
 		h := s.hist
 		if h == nil {
 			return nil
@@ -381,6 +411,31 @@ func writeSeries(w io.Writer, f *family, s *series) error {
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, h.count.Load())
 		return err
 	}
+}
+
+// writeHistSnapshot renders a func-backed histogram from one callback
+// invocation.
+func writeHistSnapshot(w io.Writer, f *family, s *series) error {
+	snap := s.histFn()
+	var cum uint64
+	for i, b := range s.histBounds {
+		if i < len(snap.Counts) {
+			cum += snap.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, mergeLE(s.labels, fmtFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		f.name, mergeLE(s.labels, "+Inf"), snap.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+	return err
 }
 
 // mergeLE splices le="bound" into a rendered label string.
