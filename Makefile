@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race check lint smoke trace-serve bench bench-smoke codec-bench microbench fuzz differential differential-live experiments merge-bench tools clean
+.PHONY: all build test race check lint smoke trace-serve bench bench-smoke codec-bench rank-bench rank-bench-smoke microbench fuzz differential differential-live experiments merge-bench tools clean
 
 all: build test
 
@@ -83,6 +83,24 @@ bench-smoke:
 codec-bench:
 	$(GO) run ./cmd/benchrunner -codecbench -benchout -
 
+# Block-max top-k retrieval benchmark (exhaustive vs MaxScore vs
+# Block-Max-WAND with skipped/decoded block counters, plus the
+# warm-dictionary IndexRun recovery number). Full-scale corpus; this is
+# how the committed BENCH_PR10.json reference is refreshed.
+rank-bench:
+	$(GO) run ./cmd/benchrunner -rankbench \
+		-benchout BENCH_PR10.json -baseline BENCH_PR5.json
+
+# CI-sized rankbench gated against the committed reference: fails when
+# Block-Max-WAND at k=10 is less than 3x faster than the exhaustive
+# scorer in the same run (machine-relative, so noisy runners don't
+# flake it), when its pruning counters show no skipped blocks, or when
+# its allocs/op grow more than 30% over BENCH_PR10.json.
+rank-bench-smoke:
+	$(GO) run ./cmd/benchrunner -rankbench -quick \
+		-benchout rank-bench-smoke.json -compare BENCH_PR10.json \
+		-min-speedup 3.0 -alloc-tolerance 0.3
+
 # One pass over every go-test microbenchmark with allocation metrics.
 microbench:
 	$(GO) test -bench=. -benchmem ./...
@@ -100,6 +118,7 @@ fuzz:
 	$(GO) test ./internal/store/ -fuzz FuzzParseDocLens -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzParseDocTable -fuzztime 30s
 	$(GO) test ./internal/store/ -fuzz FuzzParseDocMap -fuzztime 30s
+	$(GO) test ./internal/store/ -fuzz FuzzBlockedList -fuzztime 30s
 	$(GO) test ./internal/search/ -fuzz FuzzSearchQueries -fuzztime 30s
 	$(GO) test ./internal/segment/ -fuzz FuzzSegmentManifest -fuzztime 30s
 	$(GO) test ./internal/segment/ -fuzz FuzzTombstoneBitmap -fuzztime 30s

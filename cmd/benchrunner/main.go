@@ -44,6 +44,8 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.2, "buildbench -compare: allowed end-to-end throughput drop fraction")
 		allocTol   = flag.Float64("alloc-tolerance", 0.3, "buildbench -compare: allowed end-to-end allocs/op growth fraction (<=0 disables)")
 		codecbench = flag.Bool("codecbench", false, "run the postings-codec ablation (bytes/posting, compression ratio, encode/decode speed per codec and list class)")
+		rankbench  = flag.Bool("rankbench", false, "run the block-max top-k retrieval benchmark (exhaustive vs MaxScore vs Block-Max-WAND, plus the warm-dictionary IndexRun recovery number)")
+		minSpeedup = flag.Float64("min-speedup", 2.0, "rankbench -compare: required bmw-vs-exhaustive speedup at k=10")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	)
 	flag.Parse()
@@ -200,6 +202,31 @@ func main() {
 			check(err)
 			check(experiments.CompareBuildBench(committed, doc, *tolerance, *allocTol))
 			fmt.Printf("bench gate OK: within %.0f%% of %s\n", *tolerance*100, *compare)
+		}
+	}
+	if *rankbench {
+		ran = true
+		doc, err := experiments.RankBenchRun(*quick)
+		check(err)
+		if *baseline != "" {
+			prev, err := experiments.ReadBuildBenchDoc(*baseline)
+			check(err)
+			doc.EmbedIndexRunBaseline(prev)
+		}
+		if *benchOut != "-" {
+			f, err := os.Create(*benchOut)
+			check(err)
+			check(experiments.WriteRankBenchDoc(f, doc))
+			check(f.Close())
+			fmt.Printf("rank benchmark written to %s\n", *benchOut)
+		} else {
+			check(experiments.WriteRankBenchDoc(os.Stdout, doc))
+		}
+		if *compare != "" {
+			committed, err := experiments.ReadRankBenchDoc(*compare)
+			check(err)
+			check(experiments.CompareRankBench(committed, doc, *minSpeedup, *allocTol))
+			fmt.Printf("rank gate OK: bmw k=10 speedup >= %.1fx\n", *minSpeedup)
 		}
 	}
 	if *codecbench {

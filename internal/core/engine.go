@@ -258,6 +258,15 @@ func (e *Engine) flushRun(rb *store.RunBuilder) error {
 		ix.ResetRunPostings()
 	}
 	for _, ix := range e.gpuIxs {
+		if e.runSel != nil {
+			// Non-varbyte codecs: the GPU indexer encodes its own lists
+			// and ships compressed bytes (byte-identical output, see
+			// gpuindexer.EncodeRun; resets run postings itself).
+			if err := ix.EncodeRun(e.runSel, rb); err != nil {
+				return err
+			}
+			continue
+		}
 		for _, coll := range ix.Collections() {
 			st := ix.Store(coll)
 			for slot := 0; slot < st.NumSlots(); slot++ {

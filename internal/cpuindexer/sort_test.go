@@ -1,0 +1,113 @@
+package cpuindexer
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// sortVocab mixes the cases the radix + fixup split must get right:
+// empty terms (fully stripped by the trie), terms at and around the
+// 4-byte prefix boundary, terms that share a full prefix but diverge
+// later, and high bytes exercising the upper radix digits.
+var sortVocab = []string{
+	"", "a", "ab", "abc", "abcd", "abce",
+	"abcde", "abcdf", "abcdee", "abcdef", "abcdefgh",
+	"zzzz", "zzzza", "zzzzb", "zzzzzzzzzz",
+	"ra", "on", "ger",
+	"\xff\xff\xff\xff", "\xff\xff\xff\xffx", "\x01\x02\x03\x04\x05",
+}
+
+func randomOccs(rng *rand.Rand, n int, vocab []string) []occRec {
+	recs := make([]occRec, n)
+	for i := range recs {
+		term := []byte(vocab[rng.Intn(len(vocab))])
+		recs[i] = occRec{
+			term:   term,
+			prefix: termPrefix(term),
+			seq:    int32(i), // records always enter in stream order
+			doc:    uint32(i / 3),
+			pos:    uint32(i),
+		}
+	}
+	return recs
+}
+
+// TestSortOccsMatchesComparisonSort checks the radix-accelerated sort
+// produces exactly the order compareOcc defines, across sizes on both
+// sides of the radix threshold and vocabularies stressing each branch:
+// the general mix, a single shared prefix (every radix pass uniform,
+// comparison fixup does all the work), and short-only terms (no fixup
+// at all — radix stability must carry seq order alone).
+func TestSortOccsMatchesComparisonSort(t *testing.T) {
+	short := []string{"", "a", "ab", "abc", "abcd", "zzzz", "b", "bb"}
+	onePrefix := []string{"abcd", "abcde", "abcdf", "abcdee", "abcdxyz"}
+	cases := []struct {
+		name  string
+		vocab []string
+	}{
+		{"mixed", sortVocab},
+		{"short-only", short},
+		{"one-prefix", onePrefix},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(7))
+		for _, n := range []int{0, 1, 2, 127, 128, 129, 1000, 4096} {
+			recs := randomOccs(rng, n, tc.vocab)
+			want := slices.Clone(recs)
+			slices.SortFunc(want, compareOcc)
+
+			ix := New()
+			ix.sortOccs(recs)
+			for i := range want {
+				if compareOcc(recs[i], want[i]) != 0 {
+					t.Fatalf("%s n=%d: record %d = %+v, want %+v",
+						tc.name, n, i, recs[i], want[i])
+				}
+			}
+			// Re-sorting sorted input must be a no-op (and reuses the
+			// Indexer's scratch buffer from the pass above).
+			ix.sortOccs(recs)
+			for i := range want {
+				if compareOcc(recs[i], want[i]) != 0 {
+					t.Fatalf("%s n=%d: resort moved record %d", tc.name, n, i)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkSortOccs compares the radix-accelerated sort against the
+// plain comparison sort on a warm-dictionary-shaped batch (Zipf-ish
+// term repetition, realistic lengths).
+func BenchmarkSortOccs(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vocab := make([]string, 400)
+	for i := range vocab {
+		// Trie-stripped suffixes: diverse leading bytes, lengths 2-9.
+		n := 2 + rng.Intn(8)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = byte('a' + rng.Intn(26))
+		}
+		vocab[i] = string(s)
+	}
+	base := randomOccs(rng, 8192, vocab)
+	for _, bc := range []struct {
+		name string
+		sort func(ix *Indexer, recs []occRec)
+	}{
+		{"radix", func(ix *Indexer, recs []occRec) { ix.sortOccs(recs) }},
+		{"comparison", func(_ *Indexer, recs []occRec) { slices.SortFunc(recs, compareOcc) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ix := New()
+			recs := make([]occRec, len(base))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(recs, base)
+				bc.sort(ix, recs)
+			}
+		})
+	}
+}

@@ -1,0 +1,367 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"fastinvert/internal/core"
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/search"
+	"fastinvert/internal/store"
+)
+
+// The rank benchmark ("benchrunner -rankbench") is the perf gate for
+// block-max top-k retrieval: it measures the exhaustive scorer against
+// MaxScore and Block-Max-WAND over a merged Zipf corpus whose head
+// lists are genuinely blocked, reports skipped/decoded block counters
+// proving the pruning is active, re-measures the warm-dictionary
+// IndexRun microbenchmark, and emits the BENCH_PR10.json document CI
+// compares against. Every evaluator result is checked for exact
+// agreement with the exhaustive scorer before timing begins.
+
+// RankBenchEntry is one (evaluator, k) measurement.
+type RankBenchEntry struct {
+	BuildBenchMetric
+	SpeedupVsExhaustive   float64 `json:"speedup_vs_exhaustive,omitempty"`
+	BlocksDecodedPerQuery float64 `json:"blocks_decoded_per_query,omitempty"`
+	BlocksSkippedPerQuery float64 `json:"blocks_skipped_per_query,omitempty"`
+}
+
+// RankBenchDoc is the top-level BENCH_PR10.json document.
+type RankBenchDoc struct {
+	Mode       string                    `json:"mode"` // "full" or "quick"
+	Docs       int64                     `json:"docs"`
+	Terms      int                       `json:"terms"`
+	Queries    int                       `json:"queries"`
+	GOMAXPROCS int                       `json:"gomaxprocs"`
+	GoVersion  string                    `json:"go_version"`
+	TopK       map[string]RankBenchEntry `json:"topk"` // "<mode>_k<k>"
+
+	// IndexRun re-measures the warm-dictionary CPU indexing
+	// microbenchmark (the index_run regression BENCH_PR5.json recorded);
+	// IndexRunBaseline/IndexRunDelta carry the comparison against a
+	// committed BENCH document passed via -baseline.
+	IndexRun         *BuildBenchMetric `json:"index_run,omitempty"`
+	IndexRunBaseline *BuildBenchMetric `json:"index_run_baseline,omitempty"`
+	IndexRunDelta    string            `json:"index_run_delta,omitempty"`
+}
+
+// rankBenchScale picks corpus sizes: long Zipf-head lists need enough
+// documents that blocking (>= 256 postings) kicks in well past one
+// block per list.
+func rankBenchScale(quick bool) (files int, p corpus.Profile) {
+	p = corpus.ClueWeb09(1)
+	if quick {
+		p.VocabSize = 2000
+		p.DocsPerFile = 500
+		p.MeanDocTokens = 120
+		return 10, p
+	}
+	p.VocabSize = 8000
+	p.DocsPerFile = 400
+	p.MeanDocTokens = 150
+	return 30, p
+}
+
+// rankQuerySet builds the long-list query mix: every query pairs a
+// Zipf-head term (a long, heavily blocked list) with a selective
+// companion. The companions are chosen by document frequency, not
+// rank: df must exceed k so theta fills from companion-bearing
+// documents (whose scores dwarf the head term's near-zero idf), yet
+// stay under numDocs/128 so consecutive companion postings usually sit
+// more than one 128-posting head block apart — the regime where the
+// evaluators leap whole undecoded blocks between candidates. That is
+// the workload block-max pruning exists for; pure head-only queries
+// must visit every block of the only list and are covered by the
+// exhaustive baseline instead.
+func rankQuerySet(s *search.Searcher, idx *store.IndexReader, numDocs int64) ([][]string, error) {
+	type tdf struct {
+		term string
+		df   int
+	}
+	var cands []tdf
+	for _, e := range idx.Dictionary() {
+		if norm, stop := s.Normalize(e.Term); stop || norm != e.Term {
+			continue
+		}
+		l, err := idx.Postings(e.Term)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, tdf{e.Term, l.Len()})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].df != cands[j].df {
+			return cands[i].df > cands[j].df
+		}
+		return cands[i].term < cands[j].term
+	})
+	if len(cands) < 12 {
+		return nil, fmt.Errorf("rankbench: only %d usable terms", len(cands))
+	}
+	head := cands[:6]
+
+	// Selective companions: nearest unused term to each df target
+	// inside the [dfMin, dfMax] window.
+	dfMax := int(numDocs / 128)
+	dfMin := 12
+	if dfMax <= dfMin {
+		return nil, fmt.Errorf("rankbench: %d docs leave no selective-df window (max %d, min %d)",
+			numDocs, dfMax, dfMin)
+	}
+	targets := []int{dfMax / 3, dfMax / 2, 2 * dfMax / 3, dfMax}
+	used := map[string]bool{}
+	var sels []string
+	for _, want := range targets {
+		if want < dfMin {
+			want = dfMin
+		}
+		best, bestDist := "", -1
+		for _, c := range cands {
+			if used[c.term] || c.df < dfMin || c.df > dfMax {
+				continue
+			}
+			d := c.df - want
+			if d < 0 {
+				d = -d
+			}
+			if bestDist < 0 || d < bestDist {
+				best, bestDist = c.term, d
+			}
+		}
+		if best == "" {
+			return nil, fmt.Errorf("rankbench: no unused term with df in [%d,%d]", dfMin, dfMax)
+		}
+		used[best] = true
+		sels = append(sels, best)
+	}
+	return [][]string{
+		{head[0].term, sels[0]},
+		{head[1].term, sels[1]},
+		{head[2].term, sels[2]},
+		{head[0].term, head[1].term, sels[0]},
+		{head[3].term, sels[3]},
+		{head[4].term, sels[1]},
+		{head[0].term, head[5].term, sels[2]},
+	}, nil
+}
+
+// benchRank times one evaluator over the query cycle and returns the
+// metric plus per-query block counters (decoded/skipped deltas divided
+// by queries actually executed, warmup rounds included).
+func benchRank(s *search.Searcher, mode search.RankMode, k int, queries [][]string) (RankBenchEntry, error) {
+	s.SetRankMode(mode)
+	before := s.RankStats()
+	var executed int64
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := queries[i%len(queries)]
+			if _, err := s.TopK(k, q...); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+		executed += int64(b.N)
+	})
+	if benchErr != nil {
+		return RankBenchEntry{}, benchErr
+	}
+	e := RankBenchEntry{BuildBenchMetric: metricOf(r)}
+	after := s.RankStats()
+	if executed > 0 && mode != search.RankExhaustive {
+		e.BlocksDecodedPerQuery = float64(after.BlocksDecoded-before.BlocksDecoded) / float64(executed)
+		e.BlocksSkippedPerQuery = float64(after.BlocksSkipped-before.BlocksSkipped) / float64(executed)
+	}
+	return e, nil
+}
+
+// checkRankAgreement pins exactness before timing: every evaluator
+// must return the exhaustive scorer's results bitwise.
+func checkRankAgreement(s *search.Searcher, queries [][]string, ks []int) error {
+	for _, q := range queries {
+		for _, k := range ks {
+			s.SetRankMode(search.RankExhaustive)
+			want, err := s.TopK(k, q...)
+			if err != nil {
+				return err
+			}
+			for _, mode := range []search.RankMode{search.RankMaxScore, search.RankBlockMax} {
+				s.SetRankMode(mode)
+				got, err := s.TopK(k, q...)
+				if err != nil {
+					return err
+				}
+				if len(got) != len(want) {
+					return fmt.Errorf("rankbench: %s %v k=%d: %d results, exhaustive %d",
+						mode, q, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+						return fmt.Errorf("rankbench: %s %v k=%d: result %d diverges from exhaustive",
+							mode, q, k, i)
+					}
+				}
+			}
+		}
+	}
+	s.SetRankMode(search.RankExhaustive)
+	return nil
+}
+
+// RankBenchRun executes the rank benchmark suite.
+func RankBenchRun(quick bool) (*RankBenchDoc, error) {
+	files, p := rankBenchScale(quick)
+	doc := &RankBenchDoc{
+		Mode:       "full",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		TopK:       map[string]RankBenchEntry{},
+	}
+	if quick {
+		doc.Mode = "quick"
+	}
+
+	tmp, err := os.MkdirTemp("", "rankbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	src := corpus.NewMemSource(corpus.NewGenerator(p), files)
+	cfg := EngineConfig(4, 2, 1)
+	cfg.OutDir = filepath.Join(tmp, "idx")
+	eng, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := eng.BuildConcurrent(src)
+	if err != nil {
+		return nil, err
+	}
+	doc.Docs = rep.Docs
+
+	idx, err := store.OpenIndex(cfg.OutDir)
+	if err != nil {
+		return nil, err
+	}
+	defer idx.Close()
+	ms, err := idx.Merge()
+	if err != nil {
+		return nil, err
+	}
+	if ms.Blocked == 0 {
+		return nil, fmt.Errorf("rankbench: merge produced no blocked lists (corpus too small)")
+	}
+	doc.Terms = idx.Terms()
+
+	s := search.New(idx)
+	queries, err := rankQuerySet(s, idx, rep.Docs)
+	if err != nil {
+		return nil, err
+	}
+	doc.Queries = len(queries)
+	ks := []int{10, 100}
+	if err := checkRankAgreement(s, queries, ks); err != nil {
+		return nil, err
+	}
+
+	for _, k := range ks {
+		exh, err := benchRank(s, search.RankExhaustive, k, queries)
+		if err != nil {
+			return nil, err
+		}
+		doc.TopK[fmt.Sprintf("exhaustive_k%d", k)] = exh
+		for name, mode := range map[string]search.RankMode{
+			"maxscore": search.RankMaxScore,
+			"bmw":      search.RankBlockMax,
+		} {
+			e, err := benchRank(s, mode, k, queries)
+			if err != nil {
+				return nil, err
+			}
+			if e.NsPerOp > 0 {
+				e.SpeedupVsExhaustive = float64(exh.NsPerOp) / float64(e.NsPerOp)
+			}
+			doc.TopK[fmt.Sprintf("%s_k%d", name, k)] = e
+		}
+	}
+
+	// Warm-dictionary IndexRun recovery measurement, same methodology
+	// and scale as the BENCH_PR5.json index_run number.
+	plain, docs := benchCorpus(buildBenchScale(quick))
+	ir := metricOf(benchIndexRun(plain, docs))
+	doc.IndexRun = &ir
+	return doc, nil
+}
+
+// EmbedIndexRunBaseline records a committed build-bench document's
+// index_run number (e.g. BENCH_PR5.json's) and the delta against it.
+func (doc *RankBenchDoc) EmbedIndexRunBaseline(prev *BuildBenchDoc) {
+	b, ok := prev.Benchmarks["index_run"]
+	if !ok || doc.IndexRun == nil {
+		return
+	}
+	doc.IndexRunBaseline = &b
+	if b.MBPerSec > 0 && doc.IndexRun.MBPerSec > 0 {
+		doc.IndexRunDelta = fmt.Sprintf("throughput %+.1f%%",
+			100*(doc.IndexRun.MBPerSec-b.MBPerSec)/b.MBPerSec)
+	}
+}
+
+// ReadRankBenchDoc loads a committed BENCH_PR10.json document.
+func ReadRankBenchDoc(path string) (*RankBenchDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc RankBenchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("rankbench: %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// WriteRankBenchDoc writes the document as indented JSON.
+func WriteRankBenchDoc(w io.Writer, doc *RankBenchDoc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// CompareRankBench gates a fresh run: Block-Max-WAND at k=10 must be
+// at least minSpeedup times faster than the exhaustive scorer in the
+// CURRENT run (a machine-relative ratio, so noisy runners don't flake
+// it), its pruning counters must show real skipping, and its allocs/op
+// must not have grown more than allocTolerance over the committed
+// document (<=0 skips the allocation gate).
+func CompareRankBench(committed, current *RankBenchDoc, minSpeedup, allocTolerance float64) error {
+	cur, ok := current.TopK["bmw_k10"]
+	if !ok {
+		return fmt.Errorf("rankbench: current run carries no bmw_k10 result")
+	}
+	if cur.SpeedupVsExhaustive < minSpeedup {
+		return fmt.Errorf("rankbench: bmw k=10 speedup %.2fx is below the %.2fx floor",
+			cur.SpeedupVsExhaustive, minSpeedup)
+	}
+	if cur.BlocksSkippedPerQuery <= 0 {
+		return fmt.Errorf("rankbench: bmw k=10 skipped no blocks; pruning inactive")
+	}
+	if allocTolerance > 0 && committed != nil {
+		if ref, ok := committed.TopK["bmw_k10"]; ok && ref.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
+			ceil := float64(ref.AllocsPerOp) * (1 + allocTolerance)
+			if float64(cur.AllocsPerOp) > ceil {
+				return fmt.Errorf("rankbench: bmw k=10 allocations %d/op exceed %.0f/op (committed %d/op + %.0f%%)",
+					cur.AllocsPerOp, ceil, ref.AllocsPerOp, allocTolerance*100)
+			}
+		}
+	}
+	return nil
+}

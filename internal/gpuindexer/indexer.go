@@ -83,6 +83,12 @@ type Stats struct {
 	Chars    int64
 	Runs     int64
 	SimSec   float64
+
+	// EncodedLists/EncodedBytes count the device-encoded run output
+	// shipped through EncodeRun (zero when the engine drains raw
+	// postings instead).
+	EncodedLists int64
+	EncodedBytes int64
 }
 
 type collection struct {
@@ -116,6 +122,7 @@ type Indexer struct {
 	packed []byte
 	recs   []byte
 	seen   map[int]bool
+	encBuf []byte // EncodeRun's reused codec output buffer
 
 	stats Stats
 }

@@ -1,0 +1,328 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"fastinvert/internal/core"
+	"fastinvert/internal/corpus"
+	"fastinvert/internal/gpu"
+	"fastinvert/internal/reference"
+	"fastinvert/internal/segment"
+	"fastinvert/internal/store"
+)
+
+// buildBlockedIndex builds a corpus large enough that Zipf-head terms
+// exceed the blocking threshold, merges it (which writes the blocked
+// layout for those lists), and returns the reader plus the reference
+// index.
+func buildBlockedIndex(t testing.TB) (*store.IndexReader, *reference.Index) {
+	t.Helper()
+	p := corpus.ClueWeb09(1)
+	p.VocabSize = 1000
+	p.DocsPerFile = 60
+	p.MeanDocTokens = 120
+	src := corpus.NewMemSource(corpus.NewGenerator(p), 20)
+
+	ref, err := reference.BuildFromSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Parsers = 2
+	cfg.CPUIndexers = 2
+	cfg.GPUs = 1
+	g := gpu.TeslaC1060()
+	g.SMs = 4
+	g.DeviceMemBytes = 64 << 20
+	cfg.GPU = g
+	cfg.GPUThreadBlocks = 8
+	cfg.Sampling.Ratio = 0.2
+	cfg.OutDir = filepath.Join(t.TempDir(), "idx")
+	eng, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Build(src); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := store.OpenIndex(cfg.OutDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	stats, err := idx.Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Blocked == 0 {
+		t.Fatalf("merge of %d lists produced no blocked lists", stats.Lists)
+	}
+	return idx, ref
+}
+
+// topTerms returns the n most frequent indexed terms.
+func topTerms(ref *reference.Index, n int) []string {
+	type tf struct {
+		term string
+		df   int
+	}
+	all := make([]tf, 0, len(ref.Lists))
+	for term, l := range ref.Lists {
+		all = append(all, tf{term, l.Len()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].df != all[j].df {
+			return all[i].df > all[j].df
+		}
+		return all[i].term < all[j].term
+	})
+	if len(all) > n {
+		all = all[:n]
+	}
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.term
+	}
+	return out
+}
+
+// rankQueries builds a diverse query mix from the reference index:
+// single terms, head+tail combinations, duplicates, unknowns.
+func rankQueries(ref *reference.Index) [][]string {
+	top := topTerms(ref, 8)
+	_, rare := pickTerms(ref)
+	qs := [][]string{
+		{top[0]},
+		{rare},
+		{top[0], top[1]},
+		{top[0], rare},
+		{top[0], top[1], top[2], top[3]},
+		{top[0], top[0]}, // duplicate word: contributes twice
+		{top[0], "zzzunknownzzz"},
+		{"the", top[1]}, // stop word dropped
+		top,
+	}
+	return qs
+}
+
+// assertSameResults requires bitwise-identical ranked results.
+func assertSameResults(t *testing.T, label string, got, want []ScoredDoc) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+			t.Fatalf("%s: result %d = (%d, %v), want (%d, %v)",
+				label, i, got[i].Doc, got[i].Score, want[i].Doc, want[i].Score)
+		}
+	}
+}
+
+// TestBlockTopKMatchesExhaustiveStatic checks that MaxScore and
+// Block-Max-WAND return exactly the exhaustive scorer's results —
+// same docs, same order, bitwise-equal scores — over a merged static
+// index with genuinely blocked Zipf-head lists, across a spread of k.
+func TestBlockTopKMatchesExhaustiveStatic(t *testing.T) {
+	idx, ref := buildBlockedIndex(t)
+	s := New(idx)
+	if !s.UsesBM25() {
+		t.Fatal("static index should carry doc lengths (BM25)")
+	}
+	for qi, q := range rankQueries(ref) {
+		for _, k := range []int{1, 3, 10, 100} {
+			s.SetRankMode(RankExhaustive)
+			want, err := s.TopK(k, q...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []RankMode{RankAuto, RankBlockMax, RankMaxScore} {
+				s.SetRankMode(mode)
+				got, err := s.TopK(k, q...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameResults(t,
+					fmt.Sprintf("query %d %v k=%d mode=%s", qi, q, k, mode), got, want)
+			}
+		}
+	}
+	st := s.RankStats()
+	if st.BlockQueries == 0 {
+		t.Fatal("no queries took the block path")
+	}
+	if st.BlocksSkipped == 0 {
+		t.Error("expected block-max pruning to skip at least one block")
+	}
+	if st.FallbackQueries != 0 {
+		t.Errorf("unexpected fallbacks: %d", st.FallbackQueries)
+	}
+}
+
+// TestBlockTopKUnmergedFallsBack checks that a reader without a merged
+// file serves TopK through the exhaustive path transparently.
+func TestBlockTopKUnmergedFallsBack(t *testing.T) {
+	idx, ref := buildIndex(t)
+	s := New(idx)
+	freq, rare := pickTerms(ref)
+	s.SetRankMode(RankExhaustive)
+	want, err := s.TopK(10, freq, rare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetRankMode(RankAuto)
+	got, err := s.TopK(10, freq, rare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, "unmerged fallback", got, want)
+	if st := s.RankStats(); st.FallbackQueries == 0 || st.BlockQueries != 0 {
+		t.Errorf("stats = %+v, want pure fallback", st)
+	}
+}
+
+// liveManager builds a live index with several sealed segments (each
+// holding blocked Zipf-head lists) plus a memtable tail.
+func liveManager(t testing.TB, dir string) (*segment.Manager, int) {
+	t.Helper()
+	m, err := segment.Open(dir, segment.Options{SealEvery: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	const nDocs = 1000
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, 400)
+	var sb strings.Builder
+	for d := 0; d < nDocs; d++ {
+		sb.Reset()
+		for w := 0; w < 40; w++ {
+			fmt.Fprintf(&sb, "w%dx ", zipf.Uint64())
+		}
+		if _, err := m.AddDocument([]byte(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, nDocs
+}
+
+// TestBlockTopKMatchesExhaustiveLive runs the same differential over a
+// live manager — sealed segments with blocked lists, short lists, and
+// the memtable pseudo-block — then deletes a document and checks the
+// evaluators fall back (tombstones make block counts lie about df)
+// while still agreeing with the exhaustive scorer.
+func TestBlockTopKMatchesExhaustiveLive(t *testing.T) {
+	m, _ := liveManager(t, t.TempDir())
+	s := NewWithSource(m)
+	if s.UsesBM25() {
+		t.Fatal("live indexes rank with TF-IDF")
+	}
+	queries := [][]string{
+		{"w0x"},
+		{"w0x", "w1x"},
+		{"w0x", "w7x", "w123x"},
+		{"w399x"},
+		{"w0x", "w0x"},
+		{"w1x", "zzzunknownzzz"},
+	}
+	check := func(label string) {
+		t.Helper()
+		for qi, q := range queries {
+			for _, k := range []int{1, 10, 100} {
+				s.SetRankMode(RankExhaustive)
+				want, err := s.TopK(k, q...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, mode := range []RankMode{RankAuto, RankMaxScore} {
+					s.SetRankMode(mode)
+					got, err := s.TopK(k, q...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertSameResults(t,
+						fmt.Sprintf("%s query %d %v k=%d mode=%s", label, qi, q, k, mode),
+						got, want)
+				}
+			}
+		}
+	}
+	check("live")
+	st := s.RankStats()
+	if st.BlockQueries == 0 || st.BlocksSkipped == 0 {
+		t.Fatalf("live block path inactive: %+v", st)
+	}
+
+	// A tombstone disables the block path until compaction purges it.
+	if err := m.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	check("tombstoned")
+	if st2 := s.RankStats(); st2.FallbackQueries == 0 {
+		t.Error("expected fallbacks while a tombstone is live")
+	}
+}
+
+// TestBlockBoundsProperty is the impact-bound property test: for every
+// blocked list in a merged index, each block's stored MaxTF must
+// upper-bound every term frequency in the block, and the score bound
+// derived from it must upper-bound the exhaustive contribution of
+// every posting in the block.
+func TestBlockBoundsProperty(t *testing.T) {
+	idx, ref := buildBlockedIndex(t)
+	s := New(idx)
+	numDocs := s.NumDocs()
+	blocked := 0
+	for term := range ref.Lists {
+		tb, err := idx.BlockPostingsCtx(t.Context(), term)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tb == nil || tb.Len() == 0 {
+			t.Fatalf("%q: no block view", term)
+		}
+		df := float64(tb.Len())
+		idf := 0.0
+		if s.UsesBM25() {
+			idf = math.Log(1 + (float64(numDocs)-df+0.5)/(df+0.5))
+		} else {
+			idf = math.Log(1 + float64(numDocs)/df)
+		}
+		for _, bl := range tb.Lists {
+			if bl.NumBlocks() > 1 {
+				blocked++
+			}
+			for b := 0; b < bl.NumBlocks(); b++ {
+				sk := bl.Skip(b)
+				docs, tfs, err := bl.DecodeBlock(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(docs) != int(sk.Count) {
+					t.Fatalf("%q block %d: %d postings, skip says %d", term, b, len(docs), sk.Count)
+				}
+				bound := s.impactBound(idf, sk.MaxTF)
+				c := blockCursor{idf: idf}
+				for i, doc := range docs {
+					if tfs[i] > sk.MaxTF {
+						t.Fatalf("%q block %d: tf %d exceeds stored MaxTF %d", term, b, tfs[i], sk.MaxTF)
+					}
+					c.curTF = tfs[i]
+					if contrib := s.contribution(&c, doc); !boundExceeds(bound, contrib) && contrib > bound {
+						t.Fatalf("%q block %d doc %d: contribution %v exceeds bound %v",
+							term, b, doc, contrib, bound)
+					}
+				}
+			}
+		}
+	}
+	if blocked == 0 {
+		t.Fatal("property test never saw a multi-block list")
+	}
+}

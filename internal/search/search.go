@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"fastinvert/internal/postings"
 	"fastinvert/internal/stem"
@@ -70,12 +71,17 @@ type CtxPostingsSource interface {
 // concurrent use, provided its PostingsSource is (store.IndexReader
 // and serve's cached wrapper both are).
 type Searcher struct {
-	idx     PostingsSource
-	ctxSrc  CtxPostingsSource // idx's context-aware face, when it has one
-	stop    *stopwords.Set
-	numDocs int64
-	docLens []uint32 // optional, enables BM25 length normalization
-	avgLen  float64
+	idx      PostingsSource
+	ctxSrc   CtxPostingsSource // idx's context-aware face, when it has one
+	blockSrc BlockSource       // idx's block-at-a-time face, when it has one
+	stop     *stopwords.Set
+	numDocs  int64
+	docLens  []uint32 // optional, enables BM25 length normalization
+	avgLen   float64
+	minNorm  float64 // smallest BM25 length norm any doc can have
+
+	rankMode  atomic.Int32 // RankMode, read once per TopK call
+	rankStats rankCounters
 }
 
 // New wraps an opened index. The document count for IDF comes from the
@@ -102,13 +108,23 @@ func NewWithSource(idx PostingsSource) *Searcher {
 	if cs, ok := idx.(CtxPostingsSource); ok {
 		s.ctxSrc = cs
 	}
+	if bs, ok := idx.(BlockSource); ok {
+		s.blockSrc = bs
+	}
 	if lens := idx.DocLens(); len(lens) > 0 {
 		s.docLens = lens
 		var sum float64
+		minLen := lens[0]
 		for _, l := range lens {
 			sum += float64(l)
+			if l < minLen {
+				minLen = l
+			}
 		}
 		s.avgLen = sum / float64(len(lens))
+		// Docs beyond docLens get norm exactly 1, and minLen <= avgLen
+		// keeps minNorm <= 1, so minNorm lower-bounds every norm.
+		s.minNorm = 1 - bm25B + bm25B*float64(minLen)/s.avgLen
 	}
 	return s
 }
@@ -388,8 +404,26 @@ func (s *Searcher) TopK(k int, words ...string) ([]ScoredDoc, error) {
 
 // TopKCtx is TopK honoring ctx cancellation between per-term fetches.
 func (s *Searcher) TopKCtx(ctx context.Context, k int, words ...string) ([]ScoredDoc, error) {
+	return s.TopKModeCtx(ctx, RankMode(s.rankMode.Load()), k, words...)
+}
+
+// TopKModeCtx is TopKCtx under an explicit evaluation strategy,
+// overriding the Searcher-level mode for this call only — the
+// per-request escape hatch concurrent servers need, since SetRankMode
+// is shared state.
+func (s *Searcher) TopKModeCtx(ctx context.Context, mode RankMode, k int, words ...string) ([]ScoredDoc, error) {
 	if k <= 0 {
 		return nil, ErrInvalidK
+	}
+	if mode != RankExhaustive && s.blockSrc != nil {
+		out, ok, err := s.topKBlocks(ctx, k, mode, words)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+		s.rankStats.fallbackQueries.Add(1)
 	}
 	scores := map[uint32]float64{}
 	numDocs := s.NumDocs()

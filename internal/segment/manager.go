@@ -376,6 +376,55 @@ func (m *Manager) PostingsSizedCtx(ctx context.Context, term string) (*postings.
 	return out, enc, nil
 }
 
+// BlockPostingsCtx returns the term's block-at-a-time view across the
+// sealed segments and the memtable, in ascending disjoint docID-range
+// order: stored skip tables for blocked sealed lists, exact
+// pseudo-blocks for short lists and the memtable tail.
+//
+// It returns (nil, nil) — block evaluation unavailable, caller falls
+// back to exhaustive scoring — whenever any tombstone is live:
+// tombstones hide postings from Postings but not from block counts, so
+// document frequencies (hence evaluator score bounds) would disagree
+// with the exhaustive path. A non-nil empty TermBlocks means the term
+// does not occur anywhere.
+func (m *Manager) BlockPostingsCtx(ctx context.Context, term string) (*store.TermBlocks, error) {
+	if d := m.tomb.Load(); d != nil && d.deleted > 0 {
+		return nil, nil
+	}
+	v, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer v.release()
+	tr := telemetry.TraceFrom(ctx)
+	tr.SetGeneration(v.gen)
+	coll := int32(trie.IndexString(term))
+	tb := &store.TermBlocks{}
+	msp := tr.StartSpan(telemetry.ReqStageMerge)
+	msp.AddItems(int64(len(v.segs)))
+	for _, s := range v.segs {
+		bl, err := s.blocksCtx(ctx, coll, term)
+		if err != nil {
+			msp.End()
+			return nil, err
+		}
+		if bl != nil {
+			tb.Lists = append(tb.Lists, bl)
+		}
+	}
+	msp.End()
+	memsp := tr.StartSpan(telemetry.ReqStageMemtable)
+	// memtable.postings already deep-copies, so the pseudo-block cannot
+	// alias a list tail a concurrent add is mutating.
+	if part := v.mem.postings(term); part != nil {
+		if bl := store.BlockListFromList(part); bl != nil {
+			tb.Lists = append(tb.Lists, bl)
+		}
+	}
+	memsp.End()
+	return tb, nil
+}
+
 // appendLive concatenates part onto dst, skipping tombstoned docs and
 // enforcing the same ordering invariants as postings.Concat: doc
 // ranges must not interleave across segments, or the index is corrupt.
@@ -519,7 +568,9 @@ func (m *Manager) sealLocked() (err error) {
 	tr.SetAttr("segment", id)
 	tr.SetAttr("docs", meta.Docs)
 	esp := tr.StartSpan(telemetry.ReqStageEncode)
-	data, dict, lists, err := m.mem.seal(m.sel, next-1)
+	// Forced-varbyte managers stay in the legacy unblocked layout; every
+	// other codec choice seals long lists with block skip tables.
+	data, dict, lists, err := m.mem.seal(m.sel, next-1, m.opts.Codec != "varbyte")
 	if err != nil {
 		esp.End()
 		return err

@@ -110,6 +110,40 @@ func (s *segment) postingsCtx(ctx context.Context, coll int32, term string) (*po
 	return l, int64(re.Length), nil
 }
 
+// blocksCtx returns the term's block-at-a-time view within this
+// segment (nil when absent): the stored skip table for blocked
+// entries, one exact pseudo-block for short unblocked lists.
+func (s *segment) blocksCtx(ctx context.Context, coll int32, term string) (*store.BlockList, error) {
+	dsp := telemetry.TraceFrom(ctx).StartSpan(telemetry.ReqStageDict)
+	e, ok := store.Lookup(s.dict, coll, term)
+	dsp.End()
+	if !ok {
+		return nil, nil
+	}
+	re, ok := s.run.Find(uint32(e.Collection), uint32(e.Slot))
+	if !ok {
+		return nil, fmt.Errorf("segment %d: dictionary slot (%d,%d) has no list: %w",
+			s.meta.ID, e.Collection, e.Slot, store.ErrCorruptIndex)
+	}
+	if s.decodes != nil {
+		if id := re.Codec(); id < encoding.NumCodecs {
+			s.decodes[id].Add(1)
+		}
+	}
+	bl, err := s.run.ReadBlocksCtx(ctx, re)
+	if err != nil {
+		return nil, fmt.Errorf("segment %d: %w", s.meta.ID, err)
+	}
+	if bl != nil {
+		return bl, nil
+	}
+	l, err := s.run.ReadListCtx(ctx, re)
+	if err != nil {
+		return nil, fmt.Errorf("segment %d: %w", s.meta.ID, err)
+	}
+	return store.BlockListFromList(l), nil
+}
+
 // view is one immutable read snapshot: the sealed segments in
 // ascending doc order plus the memtable that was live when the view
 // was taken. Queries acquire the current view, finish against it, and

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"fastinvert/internal/search"
+)
+
+// TestServerBlockRankedPath checks the static server serves /search
+// topk through the block evaluators once the index is merged: results
+// agree with the exhaustive scorer, the rank counters advance, and a
+// re-query resolved from the postings cache (after exhaustive scoring
+// populated it) still answers through pseudo-blocks.
+func TestServerBlockRankedPath(t *testing.T) {
+	idx := buildIndex(t)
+	if _, err := idx.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx, Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	words := pickWords(t, idx, 3)
+	q := strings.Join(words, "+")
+
+	got := getJSON(t, ts, "/search?mode=topk&k=5&q="+q, 200)
+	st := srv.searcher.RankStats()
+	if st.BlockQueries != 1 {
+		t.Fatalf("block queries = %d, want 1 (stats %+v)", st.BlockQueries, st)
+	}
+
+	// The exhaustive scorer must agree exactly (it also warms the cache).
+	srv.searcher.SetRankMode(search.RankExhaustive)
+	want := getJSON(t, ts, "/search?mode=topk&k=5&q="+q, 200)
+	if fmt.Sprint(got["ranked"]) != fmt.Sprint(want["ranked"]) {
+		t.Fatalf("block ranked = %v\nexhaustive = %v", got["ranked"], want["ranked"])
+	}
+
+	// Back to auto: cached lists serve as exact pseudo-blocks.
+	srv.searcher.SetRankMode(search.RankAuto)
+	again := getJSON(t, ts, "/search?mode=topk&k=5&q="+q, 200)
+	if fmt.Sprint(again["ranked"]) != fmt.Sprint(want["ranked"]) {
+		t.Fatalf("cached block ranked = %v\nexhaustive = %v", again["ranked"], want["ranked"])
+	}
+	if st := srv.searcher.RankStats(); st.BlockQueries != 2 {
+		t.Fatalf("block queries after cache warm = %d, want 2 (%+v)", st.BlockQueries, st)
+	}
+}
+
+// TestServerRankParam checks the per-request evaluator override: every
+// rank= value answers identically on the same query, the explicit
+// evaluators advance the block counters, exhaustive does not, and a
+// junk value is a 400.
+func TestServerRankParam(t *testing.T) {
+	idx := buildIndex(t)
+	if _, err := idx.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(idx, Config{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	words := pickWords(t, idx, 3)
+	q := strings.Join(words, "+")
+
+	want := getJSON(t, ts, "/search?mode=topk&k=5&rank=exhaustive&q="+q, 200)
+	if st := srv.searcher.RankStats(); st.BlockQueries != 0 {
+		t.Fatalf("exhaustive override ran a block evaluator (%+v)", st)
+	}
+	for i, rank := range []string{"auto", "maxscore", "bmw"} {
+		got := getJSON(t, ts, "/search?mode=topk&k=5&rank="+rank+"&q="+q, 200)
+		if fmt.Sprint(got["ranked"]) != fmt.Sprint(want["ranked"]) {
+			t.Fatalf("rank=%s: %v\nexhaustive: %v", rank, got["ranked"], want["ranked"])
+		}
+		if st := srv.searcher.RankStats(); st.BlockQueries != uint64(i+1) {
+			t.Fatalf("rank=%s: block queries = %d, want %d", rank, st.BlockQueries, i+1)
+		}
+	}
+	getJSON(t, ts, "/search?mode=topk&k=5&rank=wand&q="+q, 400)
+}

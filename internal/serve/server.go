@@ -153,6 +153,21 @@ func (cs *cachedSource) PostingsCtx(ctx context.Context, term string) (*postings
 	return l, nil
 }
 
+// BlockPostingsCtx serves the block evaluators: a term already
+// resident in the decoded-postings cache is wrapped as one exact
+// pseudo-block (same scores, zero I/O); anything else flows to the
+// reader's skip-table path, which deliberately bypasses the cache —
+// the whole point of block evaluation is not materializing long lists.
+func (cs *cachedSource) BlockPostingsCtx(ctx context.Context, term string) (*store.TermBlocks, error) {
+	if l, ok := cs.cache.Get(term); ok {
+		if bl := store.BlockListFromList(l); bl != nil {
+			return &store.TermBlocks{Lists: []*store.BlockList{bl}}, nil
+		}
+		return &store.TermBlocks{}, nil
+	}
+	return cs.idx.BlockPostingsCtx(ctx, term)
+}
+
 func (cs *cachedSource) DocLens() []uint32             { return cs.idx.DocLens() }
 func (cs *cachedSource) Runs() []store.RunMeta         { return cs.idx.Runs() }
 func (cs *cachedSource) Dictionary() []store.DictEntry { return cs.idx.Dictionary() }
@@ -213,6 +228,22 @@ func (ls *liveSource) PostingsCtx(ctx context.Context, term string) (*postings.L
 		ls.cache.PutSized(key, l, enc)
 	}
 	return l, nil
+}
+
+// BlockPostingsCtx serves the block evaluators from the live index: a
+// generation-keyed cache hit becomes one exact pseudo-block, otherwise
+// the manager assembles the per-segment skip tables (or reports block
+// evaluation unavailable while tombstones are live).
+func (ls *liveSource) BlockPostingsCtx(ctx context.Context, term string) (*store.TermBlocks, error) {
+	gen := ls.mgr.Gen()
+	key := term + "#" + strconv.FormatUint(gen, 10)
+	if l, ok := ls.cache.Get(key); ok {
+		if bl := store.BlockListFromList(l); bl != nil {
+			return &store.TermBlocks{Lists: []*store.BlockList{bl}}, nil
+		}
+		return &store.TermBlocks{}, nil
+	}
+	return ls.mgr.BlockPostingsCtx(ctx, term)
 }
 
 func (ls *liveSource) DocLens() []uint32             { return ls.mgr.DocLens() }
@@ -363,6 +394,21 @@ func (s *Server) registerCommonMetrics(reg *telemetry.Registry) {
 	reg.HistogramFunc("hetserve_cache_entry_bytes",
 		"Charged-size distribution of resident postings-cache entries.",
 		sizeBounds, func() telemetry.HistSnapshot { return s.cache.SizeHist(sizeBounds) })
+	// Block-max ranked-retrieval counters, read off the searcher's
+	// atomics at scrape time: how many TopK calls the block evaluators
+	// served versus fell back from, and how effective block skipping is.
+	reg.CounterFunc("hetserve_rank_block_queries_total",
+		"Ranked queries served by a block-max evaluator (MaxScore/BMW).",
+		func() float64 { return float64(s.searcher.RankStats().BlockQueries) })
+	reg.CounterFunc("hetserve_rank_fallback_queries_total",
+		"Ranked queries that fell back to the exhaustive scorer.",
+		func() float64 { return float64(s.searcher.RankStats().FallbackQueries) })
+	reg.CounterFunc("hetserve_rank_blocks_decoded_total",
+		"Postings blocks decoded by the block-max evaluators.",
+		func() float64 { return float64(s.searcher.RankStats().BlocksDecoded) })
+	reg.CounterFunc("hetserve_rank_blocks_skipped_total",
+		"Postings blocks skipped via their impact upper bound.",
+		func() float64 { return float64(s.searcher.RankStats().BlocksSkipped) })
 	reg.GaugeFunc("hetserve_inflight_requests",
 		"HTTP requests currently inside an instrumented handler.",
 		func() float64 { return float64(s.inflight.Load()) })
@@ -501,6 +547,7 @@ type rankedDoc struct {
 // handleSearch evaluates q under the configured mode:
 //
 //	GET /search?q=parallel+inverted&mode=and|or|phrase|topk&k=10
+//	    [&rank=auto|exhaustive|maxscore|bmw]   topk evaluator override
 //
 // The query runs on a pool worker under the per-query deadline; a
 // saturated pool makes callers wait here (backpressure), and an
@@ -526,6 +573,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	if k > s.cfg.MaxK {
 		k = s.cfg.MaxK
+	}
+	rankMode := s.searcher.GetRankMode()
+	if v := r.URL.Query().Get("rank"); v != "" {
+		m, ok := parseRankMode(v)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "rank must be one of auto, exhaustive, maxscore, bmw")
+			return
+		}
+		rankMode = m
 	}
 	words := strings.Fields(q)
 
@@ -555,7 +611,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			return err
 		case "topk":
 			resp.K = k
-			ranked, err := s.searcher.TopKCtx(ctx, k, words...)
+			ranked, err := s.searcher.TopKModeCtx(ctx, rankMode, k, words...)
 			resp.Ranked = make([]rankedDoc, len(ranked))
 			for i, d := range ranked {
 				resp.Ranked[i] = rankedDoc{Doc: d.Doc, Score: d.Score}
@@ -577,6 +633,24 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 var errBadMode = errors.New("serve: mode must be one of and, or, phrase, topk")
+
+// parseRankMode maps a non-empty rank query parameter onto the topk
+// evaluation strategy (an absent parameter defers to the searcher's
+// configured mode instead). Auto means Block-Max-WAND whenever the
+// index state can serve blocks, exhaustive otherwise.
+func parseRankMode(v string) (search.RankMode, bool) {
+	switch v {
+	case "auto":
+		return search.RankAuto, true
+	case "exhaustive":
+		return search.RankExhaustive, true
+	case "maxscore":
+		return search.RankMaxScore, true
+	case "bmw":
+		return search.RankBlockMax, true
+	}
+	return 0, false
+}
 
 // postingsResponse is the /postings JSON shape.
 type postingsResponse struct {

@@ -112,7 +112,11 @@ func TestRunRejectsCodecCorruption(t *testing.T) {
 			binary.LittleEndian.PutUint32(d[runHdrSize+20:], 1<<20)
 		}),
 		"future run version": mutate(func(d []byte) {
-			binary.LittleEndian.PutUint32(d[4:], runVersionCodec+1)
+			binary.LittleEndian.PutUint32(d[4:], runVersionBlocks+1)
+		}),
+		"block flag in v4 entry": mutate(func(d []byte) {
+			binary.LittleEndian.PutUint32(d[4:], runVersionCodec)
+			binary.LittleEndian.PutUint32(d[flagsOff:], FlagBlocks)
 		}),
 	}
 	dir := t.TempDir()
@@ -251,7 +255,12 @@ func TestMergeSelfTuningCodecs(t *testing.T) {
 	if stats.Codecs["bitpack"] == 0 || stats.Codecs["eliasfano"] == 0 || stats.Codecs["varbyte"] == 0 {
 		t.Fatalf("self-tuning merge codecs = %v, want bitpack+eliasfano+varbyte", stats.Codecs)
 	}
-	assertMergedVersions(t, dir, runVersionCodec, mergedSidecarVersionCodec)
+	// The long lists cross the blocking threshold, so the self-tuned
+	// merge now carries skip tables: run format 5, sidecar version 3.
+	if stats.Blocked == 0 {
+		t.Fatalf("self-tuning merge wrote no blocked lists: %+v", stats)
+	}
+	assertMergedVersions(t, dir, runVersionBlocks, mergedSidecarVersionBlocks)
 
 	post, err := OpenIndex(dir)
 	if err != nil {

@@ -31,12 +31,13 @@ import (
 // over the input files, the output codec selector, and optional hooks
 // for tombstone filtering and reader telemetry.
 type merger struct {
-	cursors []*mergeCursor
-	sel     encoding.Selector
-	drop    func(doc uint32) bool // nil keeps every posting
-	onBytes func(n uint64)        // compressed bytes read, nil → unobserved
-	decode  func([]byte, RunEntry) (*postings.List, error)
-	readErr func(name string, err error) error
+	cursors  []*mergeCursor
+	sel      encoding.Selector
+	blockMin int                   // blocked-layout threshold; 0 disables blocking
+	drop     func(doc uint32) bool // nil keeps every posting
+	onBytes  func(n uint64)        // compressed bytes read, nil → unobserved
+	decode   func([]byte, RunEntry) (*postings.List, error)
+	readErr  func(name string, err error) error
 }
 
 func (m *merger) decodeList(blob []byte, e RunEntry) (*postings.List, error) {
@@ -229,7 +230,16 @@ func (m *merger) mergeShard(keys []uint64) shardResult {
 		flags |= codecFlags(codec.ID())
 		start := len(res.blob)
 		var err error
-		res.blob, err = codec.Encode(res.blob, acc.DocIDs, acc.TFs, accPos)
+		// Long non-positional lists get the blocked layout: same codec,
+		// split into skip-indexed blocks so the ranked path can prune.
+		// Blocking is a pure function of the list's shape, preserving
+		// worker-count-independent output bytes.
+		if blockable(m.blockMin, n, acc.Positional()) {
+			res.blob, err = appendBlockedList(res.blob, codec, acc.DocIDs, acc.TFs)
+			flags |= FlagBlocks
+		} else {
+			res.blob, err = codec.Encode(res.blob, acc.DocIDs, acc.TFs, accPos)
+		}
 		if err != nil {
 			res.err = fmt.Errorf("store: merge (%d,%d): %w", coll, slot, err)
 			return res
@@ -427,10 +437,12 @@ func (m *merger) writeMergedFile(ctx context.Context, path string, workers int) 
 	}
 
 	// Codec histogram decides the format version: any non-varbyte list
-	// forces run format 4; an all-varbyte output stays byte-compatible
-	// with pre-codec readers.
+	// forces run format 4, any blocked list forces format 5; an
+	// all-varbyte unblocked output stays byte-compatible with pre-codec
+	// readers.
 	codecCounts := make(map[string]int)
 	hasCodec := false
+	blocked := 0
 	for _, e := range entries {
 		c, err := encoding.Lookup(e.Codec())
 		if err != nil {
@@ -440,10 +452,16 @@ func (m *merger) writeMergedFile(ctx context.Context, path string, workers int) 
 		if c.ID() != encoding.CodecVarByte {
 			hasCodec = true
 		}
+		if e.Flags&FlagBlocks != 0 {
+			blocked++
+		}
 	}
 	ver := uint32(runVersion)
 	if hasCodec {
 		ver = runVersionCodec
+	}
+	if blocked > 0 {
+		ver = runVersionBlocks
 	}
 	hdrTable := make([]byte, runHdrSize+tableSize)
 	binary.LittleEndian.PutUint32(hdrTable[0:], runMagic)
@@ -490,6 +508,7 @@ func (m *merger) writeMergedFile(ctx context.Context, path string, workers int) 
 	syncDir(filepath.Dir(path))
 	return &MergeStats{
 		Lists:    len(entries),
+		Blocked:  blocked,
 		Bytes:    size,
 		FirstDoc: first,
 		LastDoc:  last,
@@ -593,6 +612,12 @@ func CompactRuns(ctx context.Context, sources []CompactSource, outPath string, o
 	// globally sorted postings.
 	sort.SliceStable(cursors, func(i, j int) bool { return cursors[i].rr.firstDoc < cursors[j].rr.firstDoc })
 	m := &merger{cursors: cursors, sel: sel, drop: opts.Drop}
+	// Forced-varbyte compaction is the legacy-compatible mode (the
+	// differential harness diffs its bytes against v1 output), so only
+	// self-tuned compactions emit blocked lists.
+	if codecName != "varbyte" {
+		m.blockMin = blockMinPostings
+	}
 	stats, _, err := m.writeMergedFile(ctx, outPath, opts.Workers)
 	if err != nil {
 		return nil, err
@@ -665,6 +690,30 @@ func (r *RunFile) ReadListCtx(ctx context.Context, e RunEntry) (*postings.List, 
 		return nil, fmt.Errorf("%s: %w", r.rr.name, err)
 	}
 	return l, nil
+}
+
+// ReadBlocksCtx fetches one blocked entry's blob with a single
+// positioned read and parses its skip table, leaving the per-block
+// codec bodies undecoded — the block-at-a-time cursor feed for the
+// ranked path. Entries without FlagBlocks return (nil, nil); callers
+// fall back to ReadListCtx for those.
+func (r *RunFile) ReadBlocksCtx(ctx context.Context, e RunEntry) (*BlockList, error) {
+	if e.Flags&FlagBlocks == 0 {
+		return nil, nil
+	}
+	tr := telemetry.TraceFrom(ctx)
+	psp := tr.StartSpan(telemetry.ReqStagePread)
+	blob, err := r.rr.readBlob(e)
+	psp.AddBytes(int64(e.Length))
+	psp.End()
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", r.rr.name, err)
+	}
+	bl, err := parseBlockedBlob(blob, e)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", r.rr.name, err)
+	}
+	return bl, nil
 }
 
 // Close releases the file handle.

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"path/filepath"
 	"testing"
+
+	"fastinvert/internal/encoding"
 )
 
 // FuzzParseRun hardens the run-file parser against arbitrary bytes:
@@ -144,6 +146,63 @@ func FuzzParseDocMap(f *testing.F) {
 			if rm.LastDoc < rm.FirstDoc {
 				t.Fatalf("inverted doc range accepted: %+v", rm)
 			}
+		}
+	})
+}
+
+// FuzzBlockedList hardens the blocked-blob parser: arbitrary bytes
+// must be rejected with the typed corruption error or parse into a
+// skip table whose blocks all decode within their declared shapes —
+// never a panic, never an allocation driven by unvalidated counts.
+func FuzzBlockedList(f *testing.F) {
+	docs := make([]uint32, 600)
+	tfs := make([]uint32, 600)
+	for i := range docs {
+		docs[i] = uint32(3 * i)
+		tfs[i] = uint32(i%7 + 1)
+	}
+	sel, err := encoding.SelectorFor("auto")
+	if err != nil {
+		f.Fatal(err)
+	}
+	b := NewRunBuilderCodec(sel)
+	b.EnableBlocks()
+	b.AddList(2, 0, docs, tfs)
+	run, err := ParseRun(b.Finalize(0, docs[len(docs)-1]))
+	if err != nil {
+		f.Fatal(err)
+	}
+	e := run.Entries[0]
+	blob := run.blob[e.Offset : e.Offset+uint64(e.Length)]
+	f.Add(blob, e.Count, e.Flags)
+	f.Add([]byte{}, uint32(0), e.Flags)
+	f.Add([]byte{1, 1, 1, 1, 1, 0}, uint32(1), e.Flags)
+	f.Fuzz(func(t *testing.T, data []byte, count, flags uint32) {
+		fe := RunEntry{Length: uint32(len(data)), Count: count, Flags: flags | FlagBlocks}
+		bl, err := parseBlockedBlob(data, fe)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptIndex) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		total := 0
+		for i := 0; i < bl.NumBlocks(); i++ {
+			sk := bl.Skip(i)
+			ds, ts, err := bl.DecodeBlock(i)
+			if err != nil {
+				if !errors.Is(err, ErrCorruptIndex) {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				continue
+			}
+			if len(ds) != int(sk.Count) || len(ts) != len(ds) {
+				t.Fatalf("block %d decoded %d/%d postings, skip says %d", i, len(ds), len(ts), sk.Count)
+			}
+			total += len(ds)
+		}
+		if total > int(count) {
+			t.Fatalf("decoded %d postings from an entry claiming %d", total, count)
 		}
 	})
 }

@@ -313,9 +313,10 @@ type IndexReader struct {
 
 	cache *listCache
 
-	mergeMu      sync.Mutex        // serializes Merge invocations
-	mergeWorkers int               // shard-worker bound for Merge (0 = GOMAXPROCS)
-	mergeSelect  encoding.Selector // per-list codec choice for Merge output
+	mergeMu        sync.Mutex        // serializes Merge invocations
+	mergeWorkers   int               // shard-worker bound for Merge (0 = GOMAXPROCS)
+	mergeSelect    encoding.Selector // per-list codec choice for Merge output
+	mergeCodecName string            // resolved MergeCodec ("auto" or a forced codec)
 
 	mu        sync.Mutex
 	closed    bool
@@ -385,18 +386,19 @@ func OpenIndexWith(dir string, opts ReaderOptions) (*IndexReader, error) {
 	}
 	merged, mergedErr := loadMerged(dir)
 	return &IndexReader{
-		dir:          dir,
-		dict:         dict,
-		runs:         runs,
-		docLens:      lens,
-		docFiles:     names,
-		docLocs:      locs,
-		cache:        newListCache(opts.CacheBytes),
-		mergeWorkers: opts.MergeWorkers,
-		mergeSelect:  mergeSelect,
-		runFiles:     make(map[string]*runSlot),
-		merged:       merged,
-		mergedErr:    mergedErr,
+		dir:            dir,
+		dict:           dict,
+		runs:           runs,
+		docLens:        lens,
+		docFiles:       names,
+		docLocs:        locs,
+		cache:          newListCache(opts.CacheBytes),
+		mergeWorkers:   opts.MergeWorkers,
+		mergeSelect:    mergeSelect,
+		mergeCodecName: codecName,
+		runFiles:       make(map[string]*runSlot),
+		merged:         merged,
+		mergedErr:      mergedErr,
 	}, nil
 }
 
@@ -700,6 +702,72 @@ func (r *IndexReader) postingsRange(ctx context.Context, term string, minDoc, ma
 	// Trim postings the boundary runs carry outside [minDoc, maxDoc] so
 	// both paths return the same exact range.
 	return sliceRange(out, minDoc, maxDoc), encoded, nil
+}
+
+// BlockPostingsCtx returns the block-at-a-time view of a term from the
+// merged file: the parsed skip table (per-block lastDoc/count/maxTF)
+// with the codec bodies left undecoded, costing one dictionary lookup
+// and one positioned read. The ranked path decodes only the blocks
+// its pruning bounds cannot skip. Returns (nil, nil) when no merged
+// file is active — block evaluation is unavailable and the caller
+// falls back to the exhaustive whole-list path. A known term too
+// short for the blocked layout is decoded whole (through the cache)
+// and wrapped as a single exact pseudo-block, so the availability of
+// block evaluation depends only on the merged file, not on any one
+// term's length. Missing terms return an empty TermBlocks.
+func (r *IndexReader) BlockPostingsCtx(ctx context.Context, term string) (*TermBlocks, error) {
+	if err := r.checkClosed(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	m := r.merged
+	r.mu.Unlock()
+	if m == nil {
+		return nil, nil
+	}
+	tr := telemetry.TraceFrom(ctx)
+	coll := trie.IndexString(term)
+	dsp := tr.StartSpan(telemetry.ReqStageDict)
+	e, ok := Lookup(r.dict, int32(coll), term)
+	dsp.End()
+	if !ok {
+		return &TermBlocks{}, nil
+	}
+	entry, ok := m.find(uint32(e.Collection), uint32(e.Slot))
+	if !ok {
+		return &TermBlocks{}, nil
+	}
+	if entry.Flags&FlagBlocks == 0 {
+		l, _, err := r.lookupList(tr, m.key, m.rr, uint32(e.Collection), uint32(e.Slot), m.find)
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil, err
+			}
+			// Merged read failed under us: signal unavailability so the
+			// caller retries through the exhaustive run-fallback path.
+			return nil, nil
+		}
+		r.mergedHits.Add(1)
+		bl := BlockListFromList(l)
+		if bl == nil {
+			return &TermBlocks{}, nil
+		}
+		return &TermBlocks{Lists: []*BlockList{bl}}, nil
+	}
+	psp := tr.StartSpan(telemetry.ReqStagePread)
+	blob, err := m.rr.readBlob(entry)
+	psp.AddBytes(int64(entry.Length))
+	psp.End()
+	if err != nil {
+		return nil, r.readErr(m.rr.name, err)
+	}
+	r.listBytes.Add(uint64(entry.Length))
+	bl, err := parseBlockedBlob(blob, entry)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", m.rr.name, err)
+	}
+	r.mergedHits.Add(1)
+	return &TermBlocks{Lists: []*BlockList{bl}}, nil
 }
 
 // lookupList fetches one (collection, slot) list from a run-format

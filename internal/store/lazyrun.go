@@ -59,7 +59,7 @@ func parseRunReader(f *os.File) (*runReader, error) {
 	}
 	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(hdr[off:]) }
 	ver := get32(4)
-	if get32(0) != runMagic || (ver != runVersion && ver != runVersionCodec) {
+	if get32(0) != runMagic || ver < runVersion || ver > runVersionBlocks {
 		return nil, ErrCorruptRun
 	}
 	n := int(get32(8))
@@ -158,8 +158,14 @@ func (r *runReader) readBlobRange(off uint64, buf []byte) error {
 func (r *runReader) close() error { return r.f.Close() }
 
 // decodeEntry decodes one entry's blob bytes into a postings list,
-// dispatching on the codec ID carried in the entry flags.
+// dispatching on the codec ID carried in the entry flags. Blocked
+// entries are decoded block by block and concatenated — the shape
+// whole-list readers expect; the ranked path uses parseBlockedBlob
+// directly to avoid exactly this cost.
 func decodeEntry(blob []byte, e RunEntry) (*postings.List, error) {
+	if e.Flags&FlagBlocks != 0 {
+		return decodeBlockedEntry(blob, e)
+	}
 	codec, err := encoding.Lookup(e.Codec())
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorruptRun, err)

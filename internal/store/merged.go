@@ -30,6 +30,11 @@ const (
 	// least one list is non-varbyte, so all-varbyte merges keep the v1
 	// sidecar and stay readable by pre-codec builds.
 	mergedSidecarVersionCodec = 2
+	// mergedSidecarVersionBlocks marks a merged file holding blocked
+	// lists (run format 5, skip tables with per-block maxTF bounds).
+	// Written only when at least one list is blocked, so unblocked
+	// merges keep the older sidecar versions.
+	mergedSidecarVersionBlocks = 3
 )
 
 // mergedSidecar is the on-disk merged.json shape.
@@ -44,6 +49,8 @@ type mergedSidecar struct {
 	Runs     int    `json:"runs"`
 	// Codecs counts lists per codec name (version >= 2 only).
 	Codecs map[string]int `json:"codecs,omitempty"`
+	// Blocked counts lists in the blocked layout (version >= 3 only).
+	Blocked int `json:"blocked_lists,omitempty"`
 }
 
 // mergedGen stamps each loaded merged file so reader-cache keys from a
@@ -75,7 +82,7 @@ func loadMerged(dir string) (*mergedState, error) {
 	if err := json.Unmarshal(raw, &sc); err != nil {
 		return nil, fmt.Errorf("merged sidecar (%v): %w", err, ErrCorruptIndex)
 	}
-	if sc.Version != mergedSidecarVersion && sc.Version != mergedSidecarVersionCodec {
+	if sc.Version < mergedSidecarVersion || sc.Version > mergedSidecarVersionBlocks {
 		// A future format we do not understand: not corruption, just
 		// not trustable. Fall back silently.
 		return nil, nil
@@ -149,6 +156,7 @@ func (m *mergedState) find(coll, slot uint32) (RunEntry, bool) {
 // MergeStats summarizes one post-processing merge.
 type MergeStats struct {
 	Lists    int    // merged postings lists (distinct terms with postings)
+	Blocked  int    // lists written in the blocked skip-table layout
 	Bytes    int64  // total merged.post size
 	FirstDoc uint32 // global doc range covered
 	LastDoc  uint32
@@ -199,13 +207,19 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 		decode:  r.decodeEntry,
 		readErr: r.readErr,
 	}
+	// A forced-varbyte merge is the legacy-compatible mode; self-tuned
+	// merges emit the blocked layout for long lists.
+	if r.mergeCodecName != "varbyte" {
+		m.blockMin = blockMinPostings
+	}
 	stats, fileCRC, err := m.writeMergedFile(context.Background(),
 		filepath.Join(r.dir, mergedFileName), r.mergeWorkers)
 	if err != nil {
 		return nil, err
 	}
-	// Any non-varbyte list forces sidecar version 2; an all-varbyte
-	// merge stays byte-compatible with pre-codec readers.
+	// Any non-varbyte list forces sidecar version 2, any blocked list
+	// version 3; an all-varbyte unblocked merge stays byte-compatible
+	// with pre-codec readers.
 	scVer := mergedSidecarVersion
 	var scCodecs map[string]int
 	for name, cnt := range stats.Codecs {
@@ -214,6 +228,10 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 			scCodecs = stats.Codecs
 			break
 		}
+	}
+	if stats.Blocked > 0 {
+		scVer = mergedSidecarVersionBlocks
+		scCodecs = stats.Codecs
 	}
 	sc := mergedSidecar{
 		Version:  scVer,
@@ -225,6 +243,7 @@ func (r *IndexReader) Merge() (*MergeStats, error) {
 		LastDoc:  stats.LastDoc,
 		Runs:     len(metas),
 		Codecs:   scCodecs,
+		Blocked:  stats.Blocked,
 	}
 	if err := writeSidecar(r.dir, sc); err != nil {
 		return nil, err

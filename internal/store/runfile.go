@@ -37,8 +37,13 @@ const (
 	// so old readers only fail (with ErrCorruptRun) on files they truly
 	// cannot decode.
 	runVersionCodec = 4
-	runHdrSize      = 24
-	entrySize       = 28
+	// runVersionBlocks marks a run where some entries carry FlagBlocks:
+	// their blobs hold a skip header plus independently decodable
+	// fixed-size blocks (see blocks.go). Files without any blocked list
+	// keep the version-3/4 decision, byte-identical to pre-block builds.
+	runVersionBlocks = 5
+	runHdrSize       = 24
+	entrySize        = 28
 )
 
 // Entry flags. Bits 8-15 hold the list's encoding.CodecID; a zero
@@ -48,12 +53,27 @@ const (
 	// FlagPositional marks a list encoded with in-document positions.
 	FlagPositional uint32 = 1 << 0
 
+	// FlagBlocks marks a list stored in the blocked layout of
+	// blocks.go: skip header + per-block codec bodies. Never combined
+	// with FlagPositional, and only valid in version-5 files.
+	FlagBlocks uint32 = 1 << 1
+
 	codecShift        = 8
 	codecMask  uint32 = 0xff << codecShift
 )
 
 // codecFlags returns the flag bits encoding the codec ID.
 func codecFlags(id encoding.CodecID) uint32 { return uint32(id) << codecShift }
+
+// EncodedFlags builds the entry flags for AddEncodedList: the codec ID
+// in bits 8-15 plus FlagPositional when the blob carries positions.
+func EncodedFlags(id encoding.CodecID, positional bool) uint32 {
+	f := codecFlags(id)
+	if positional {
+		f |= FlagPositional
+	}
+	return f
+}
 
 // RunEntry locates one partial postings list inside a run file.
 type RunEntry struct {
@@ -72,10 +92,12 @@ func (e RunEntry) Codec() encoding.CodecID {
 
 // RunBuilder accumulates one run's partial postings lists.
 type RunBuilder struct {
-	entries  []RunEntry
-	blob     []byte
-	sel      encoding.Selector
-	hasCodec bool // any entry uses a non-varbyte codec -> version 4
+	entries   []RunEntry
+	blob      []byte
+	sel       encoding.Selector
+	hasCodec  bool // any entry uses a non-varbyte codec -> version 4
+	hasBlocks bool // any entry uses the blocked layout -> version 5
+	blockMin  int  // blocking threshold; 0 disables blocking
 }
 
 // NewRunBuilder returns an empty builder writing the legacy varbyte
@@ -90,6 +112,13 @@ func NewRunBuilderCodec(sel encoding.Selector) *RunBuilder {
 	return &RunBuilder{sel: sel}
 }
 
+// EnableBlocks turns on the blocked layout for long non-positional
+// lists (>= blockMinPostings postings): their blobs gain a per-block
+// skip table with maxTF impact bounds, and the file is written as
+// version 5. Sealed segments and merges enable this; the build
+// pipeline's intermediate runs do not, keeping their bytes stable.
+func (b *RunBuilder) EnableBlocks() { b.blockMin = blockMinPostings }
+
 // addList is the shared append path: select a codec, encode, record
 // the codec ID in the entry flags.
 func (b *RunBuilder) addList(collection int, slot int32, docIDs, tfs []uint32, positions [][]uint32) error {
@@ -102,12 +131,18 @@ func (b *RunBuilder) addList(collection int, slot int32, docIDs, tfs []uint32, p
 		codec = b.sel(n, docIDs[0], docIDs[n-1], positions != nil)
 	}
 	off := uint64(len(b.blob))
-	blob, err := codec.Encode(b.blob, docIDs, tfs, positions)
+	flags := codecFlags(codec.ID())
+	var err error
+	if blockable(b.blockMin, n, positions != nil) {
+		b.blob, err = appendBlockedList(b.blob, codec, docIDs, tfs)
+		flags |= FlagBlocks
+		b.hasBlocks = true
+	} else {
+		b.blob, err = codec.Encode(b.blob, docIDs, tfs, positions)
+	}
 	if err != nil {
 		return fmt.Errorf("store: list (%d,%d): %w", collection, slot, err)
 	}
-	b.blob = blob
-	flags := codecFlags(codec.ID())
 	if positions != nil {
 		flags |= FlagPositional
 	}
@@ -139,6 +174,49 @@ func (b *RunBuilder) AddPositionalList(collection int, slot int32, docIDs, tfs [
 	return b.addList(collection, slot, docIDs, tfs, positions)
 }
 
+// AddEncodedList appends one term's partial list from an already
+// codec-encoded blob, for producers that encode on their own substrate
+// (the GPU indexer encodes device-side and ships bytes, not postings).
+// flags carries the codec ID plus optionally FlagPositional; the
+// blocked layout is seal/merge-only and is rejected here. The blob is
+// validated against the codec's MinBytes floor — the same bound
+// readers enforce — so a malformed producer fails at build time, not
+// at query time.
+func (b *RunBuilder) AddEncodedList(collection int, slot int32, count uint32, flags uint32, blob []byte) error {
+	if count == 0 {
+		return nil
+	}
+	if flags&FlagBlocks != 0 {
+		return fmt.Errorf("store: encoded list (%d,%d): blocked layout is writer-internal", collection, slot)
+	}
+	if flags&^(FlagPositional|codecMask) != 0 {
+		return fmt.Errorf("store: encoded list (%d,%d): unknown flag bits %#x", collection, slot, flags)
+	}
+	id := encoding.CodecID((flags & codecMask) >> codecShift)
+	codec, err := encoding.Lookup(id)
+	if err != nil {
+		return fmt.Errorf("store: encoded list (%d,%d): %w", collection, slot, err)
+	}
+	if len(blob) < codec.MinBytes(int(count)) {
+		return fmt.Errorf("store: encoded list (%d,%d): %d bytes below %s floor for %d postings",
+			collection, slot, len(blob), codec.Name(), count)
+	}
+	if id != encoding.CodecVarByte {
+		b.hasCodec = true
+	}
+	off := uint64(len(b.blob))
+	b.blob = append(b.blob, blob...)
+	b.entries = append(b.entries, RunEntry{
+		Collection: uint32(collection),
+		Slot:       uint32(slot),
+		Offset:     off,
+		Length:     uint32(len(blob)),
+		Count:      count,
+		Flags:      flags,
+	})
+	return nil
+}
+
 // Lists reports how many lists have been added.
 func (b *RunBuilder) Lists() int { return len(b.entries) }
 
@@ -154,6 +232,9 @@ func (b *RunBuilder) Finalize(firstDoc, lastDoc uint32) []byte {
 	ver := uint32(runVersion)
 	if b.hasCodec {
 		ver = runVersionCodec
+	}
+	if b.hasBlocks {
+		ver = runVersionBlocks
 	}
 	put32(runMagic)
 	put32(ver)
@@ -197,7 +278,7 @@ func ParseRun(data []byte) (*Run, error) {
 	}
 	get32 := func(off int) uint32 { return binary.LittleEndian.Uint32(data[off:]) }
 	ver := get32(4)
-	if get32(0) != runMagic || (ver != runVersion && ver != runVersionCodec) {
+	if get32(0) != runMagic || ver < runVersion || ver > runVersionBlocks {
 		return nil, ErrCorruptRun
 	}
 	if crc32.ChecksumIEEE(data[runHdrSize:]) != get32(20) {
@@ -257,6 +338,13 @@ func (r *Run) PositionalList(collection int, slot int32) (docIDs, tfs []uint32, 
 	}
 	e := r.Entries[i]
 	blob := r.blob[e.Offset : e.Offset+uint64(e.Length)]
+	if e.Flags&FlagBlocks != 0 {
+		l, err := decodeBlockedEntry(blob, e)
+		if err != nil {
+			return nil, nil, nil, false, err
+		}
+		return l.DocIDs, l.TFs, nil, true, nil
+	}
 	codec, err := encoding.Lookup(e.Codec())
 	if err != nil {
 		return nil, nil, nil, false, fmt.Errorf("%w: %v", ErrCorruptRun, err)
@@ -268,13 +356,25 @@ func (r *Run) PositionalList(collection int, slot int32) (docIDs, tfs []uint32, 
 	return docIDs, tfs, positions, true, nil
 }
 
-// checkEntryCodec validates an untrusted entry's codec bits for the
-// given run version: version-3 entries must carry none, the codec must
+// checkEntryCodec validates an untrusted entry's codec and layout
+// bits for the given run version: version-3 entries must carry none,
+// FlagBlocks is version-5-only (and never positional), the codec must
 // be registered, and Count must fit the codec's guaranteed minimum
-// bytes-per-posting before any decoder trusts it for allocation.
+// bytes-per-posting before any decoder trusts it for allocation. The
+// minimum holds for blocked blobs too: every registered codec's
+// MinBytes is subadditive, so per-block bodies plus the skip header
+// can only cost more than one whole-list encoding.
 func checkEntryCodec(ver uint32, e RunEntry) error {
 	if ver == runVersion && e.Flags&codecMask != 0 {
 		return fmt.Errorf("%w: codec bits in version-3 entry", ErrCorruptRun)
+	}
+	if e.Flags&FlagBlocks != 0 {
+		if ver != runVersionBlocks {
+			return fmt.Errorf("%w: block flag in version-%d entry", ErrCorruptRun, ver)
+		}
+		if e.Flags&FlagPositional != 0 {
+			return fmt.Errorf("%w: blocked positional entry", ErrCorruptRun)
+		}
 	}
 	codec, err := encoding.Lookup(e.Codec())
 	if err != nil {

@@ -191,11 +191,16 @@ func RunLive(ctx context.Context, cfg LiveConfig) (*LiveResult, error) {
 		if err != nil {
 			return fmt.Errorf("verify: serial rebuild at op %d (%s): %w", op, trigger, err)
 		}
+		diff := DiffLists(trigger, live, want, cfg.MaxDiffs)
+		// Ranked differential at the same boundary: the block evaluators
+		// (sealed segments + memtable pseudo-block, tombstone fallback)
+		// must match the exhaustive scorer query-for-query.
+		diff.Diffs = append(diff.Diffs, liveRankDiffs(m, live, cfg.MaxDiffs)...)
 		res.Checkpoints = append(res.Checkpoints, LiveCheckpoint{
 			Op:      op,
 			Trigger: trigger,
 			Docs:    int64(len(shadow)),
-			Diff:    DiffLists(trigger, live, want, cfg.MaxDiffs),
+			Diff:    diff,
 		})
 		return nil
 	}

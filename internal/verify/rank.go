@@ -1,0 +1,246 @@
+// rank.go extends the differential harness to ranked retrieval: the
+// block-max evaluators (MaxScore, Block-Max-WAND) are run query-for-
+// query against the exhaustive scorer over the merged pipeline index,
+// and every blocked list's skip table is checked against the postings
+// it summarizes. The evaluators are exact by construction, so the
+// comparison demands bitwise-equal scores in identical order.
+package verify
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"fastinvert/internal/postings"
+	"fastinvert/internal/search"
+	"fastinvert/internal/segment"
+	"fastinvert/internal/store"
+)
+
+// rankQueryMix derives a seeded query set from a term -> postings map:
+// head terms (long, typically blocked lists), a tail term, multi-term
+// combinations, a duplicate word, and an unknown. Only terms the
+// searcher's normalization leaves unchanged are eligible, so both
+// evaluators resolve the same lists.
+func rankQueryMix(s *search.Searcher, lists map[string]*postings.List) [][]string {
+	type tdf struct {
+		term string
+		df   int
+	}
+	cands := make([]tdf, 0, len(lists))
+	for term, l := range lists {
+		if norm, stop := s.Normalize(term); stop || norm != term {
+			continue
+		}
+		cands = append(cands, tdf{term, l.Len()})
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].df != cands[j].df {
+			return cands[i].df > cands[j].df
+		}
+		return cands[i].term < cands[j].term
+	})
+	head := make([]string, 0, 4)
+	for i := 0; i < len(cands) && i < 4; i++ {
+		head = append(head, cands[i].term)
+	}
+	tail := cands[len(cands)-1].term
+	qs := [][]string{
+		{head[0]},
+		{tail},
+		{head[0], tail},
+		{head[0], head[0]}, // duplicate word: contributes twice
+		{head[0], "zzzunknownzzz"},
+	}
+	if len(head) >= 2 {
+		qs = append(qs, head[:2])
+	}
+	if len(head) >= 4 {
+		qs = append(qs, head)
+	}
+	return qs
+}
+
+// diffTopK runs one query through the exhaustive scorer and through
+// mode, and returns a TermDiff on any disagreement (nil on exact
+// agreement: same docs, same order, bitwise-equal scores).
+func diffTopK(s *search.Searcher, mode search.RankMode, k int, q []string) *TermDiff {
+	label := fmt.Sprintf("%v k=%d", q, k)
+	s.SetRankMode(search.RankExhaustive)
+	want, err := s.TopK(k, q...)
+	if err != nil {
+		return &TermDiff{Term: label, Kind: "topk", Detail: fmt.Sprintf("exhaustive: %v", err)}
+	}
+	s.SetRankMode(mode)
+	got, err := s.TopK(k, q...)
+	s.SetRankMode(search.RankExhaustive)
+	if err != nil {
+		return &TermDiff{Term: label, Kind: "topk", Detail: fmt.Sprintf("%s: %v", mode, err)}
+	}
+	if len(got) != len(want) {
+		return &TermDiff{Term: label, Kind: "topk",
+			Detail: fmt.Sprintf("%s returned %d results, exhaustive %d", mode, len(got), len(want))}
+	}
+	for i := range want {
+		if got[i].Doc != want[i].Doc || got[i].Score != want[i].Score {
+			return &TermDiff{Term: label, Kind: "topk",
+				Detail: fmt.Sprintf("%s result %d = (%d, %v), exhaustive (%d, %v)",
+					mode, i, got[i].Doc, got[i].Score, want[i].Doc, want[i].Score)}
+		}
+	}
+	return nil
+}
+
+// rankDiff compares one evaluator against the exhaustive scorer over
+// the query mix at several k.
+func rankDiff(name string, s *search.Searcher, mode search.RankMode,
+	queries [][]string, maxDiffs int) *DiffReport {
+	if maxDiffs <= 0 {
+		maxDiffs = 8
+	}
+	rep := &DiffReport{Name: name, GotTerms: len(queries), WantTerms: len(queries)}
+	for _, q := range queries {
+		for _, k := range []int{3, 10} {
+			if d := diffTopK(s, mode, k, q); d != nil {
+				if len(rep.Diffs) >= maxDiffs {
+					rep.Truncated = true
+					return rep
+				}
+				rep.Diffs = append(rep.Diffs, *d)
+			}
+		}
+	}
+	return rep
+}
+
+// blockBoundsDiff checks every term's block view against the postings
+// map the run-level read-back produced: per-block counts sum to the
+// list length, every tf is bounded by the block's stored MaxTF, and
+// docIDs ascend through consecutive blocks with each skip entry's
+// LastDoc matching its block's final posting.
+func blockBoundsDiff(idx *store.IndexReader, lists map[string]*postings.List, maxDiffs int) *DiffReport {
+	if maxDiffs <= 0 {
+		maxDiffs = 8
+	}
+	rep := &DiffReport{Name: "block-bounds", GotTerms: len(lists), WantTerms: len(lists)}
+	add := func(term, detail string) bool {
+		if len(rep.Diffs) >= maxDiffs {
+			rep.Truncated = true
+			return false
+		}
+		rep.Diffs = append(rep.Diffs, TermDiff{Term: term, Kind: "block-bounds", Detail: detail})
+		return true
+	}
+	terms := make([]string, 0, len(lists))
+	for t := range lists {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	for _, term := range terms {
+		want := lists[term]
+		tb, err := idx.BlockPostingsCtx(context.Background(), term)
+		if err != nil {
+			if !add(term, err.Error()) {
+				return rep
+			}
+			continue
+		}
+		if tb == nil {
+			if !add(term, "no block view from merged reader") {
+				return rep
+			}
+			continue
+		}
+		total, pi := 0, 0
+		mismatch := ""
+		for _, bl := range tb.Lists {
+			prev := int64(-1)
+			for b := 0; b < bl.NumBlocks() && mismatch == ""; b++ {
+				sk := bl.Skip(b)
+				docs, tfs, err := bl.DecodeBlock(b)
+				if err != nil {
+					mismatch = fmt.Sprintf("block %d: %v", b, err)
+					break
+				}
+				if len(docs) != int(sk.Count) || len(docs) == 0 {
+					mismatch = fmt.Sprintf("block %d: %d postings, skip says %d", b, len(docs), sk.Count)
+					break
+				}
+				if docs[len(docs)-1] != sk.LastDoc {
+					mismatch = fmt.Sprintf("block %d: last doc %d, skip says %d", b, docs[len(docs)-1], sk.LastDoc)
+					break
+				}
+				for i, doc := range docs {
+					if int64(doc) <= prev {
+						mismatch = fmt.Sprintf("block %d: doc %d after %d", b, doc, prev)
+						break
+					}
+					prev = int64(doc)
+					if tfs[i] > sk.MaxTF {
+						mismatch = fmt.Sprintf("block %d: tf %d exceeds stored MaxTF %d", b, tfs[i], sk.MaxTF)
+						break
+					}
+					if pi >= want.Len() || doc != want.DocIDs[pi] || tfs[i] != want.TFs[pi] {
+						mismatch = fmt.Sprintf("block %d posting %d: (%d,%d) disagrees with read-back", b, i, doc, tfs[i])
+						break
+					}
+					pi++
+				}
+				total += len(docs)
+			}
+		}
+		if mismatch == "" && total != want.Len() {
+			mismatch = fmt.Sprintf("block view holds %d postings, read-back %d", total, want.Len())
+		}
+		if mismatch != "" && !add(term, mismatch) {
+			return rep
+		}
+	}
+	return rep
+}
+
+// rankComparisons reopens the merged index (left behind by the last
+// mergeAndReadBack pass, codec-selected and block-laid-out) and runs
+// the ranked differential plus the skip-table bounds check.
+func rankComparisons(dir string, lists map[string]*postings.List, maxDiffs int) []Comparison {
+	idx, err := store.OpenIndex(dir)
+	if err != nil {
+		return []Comparison{{Name: "rank", Err: err}}
+	}
+	defer idx.Close()
+	if !idx.MergedActive() {
+		return []Comparison{{Name: "rank", Err: fmt.Errorf("verify: merged file not served for rank differential")}}
+	}
+	s := search.New(idx)
+	queries := rankQueryMix(s, lists)
+	out := []Comparison{
+		{Name: "rank-maxscore", Diff: rankDiff("rank-maxscore", s, search.RankMaxScore, queries, maxDiffs)},
+		{Name: "rank-bmw", Diff: rankDiff("rank-bmw", s, search.RankBlockMax, queries, maxDiffs)},
+		{Name: "block-bounds", Diff: blockBoundsDiff(idx, lists, maxDiffs)},
+	}
+	return out
+}
+
+// liveRankDiffs runs the ranked differential against a live manager at
+// a seal/compact boundary: block evaluation over sealed segments (and
+// the memtable pseudo-block) must match the exhaustive scorer exactly,
+// tombstones falling back transparently.
+func liveRankDiffs(m *segment.Manager, lists map[string]*postings.List, maxDiffs int) []TermDiff {
+	s := search.NewWithSource(m)
+	var diffs []TermDiff
+	for _, q := range rankQueryMix(s, lists) {
+		if len(diffs) >= maxDiffs && maxDiffs > 0 {
+			break
+		}
+		for _, mode := range []search.RankMode{search.RankAuto, search.RankMaxScore} {
+			if d := diffTopK(s, mode, 10, q); d != nil {
+				diffs = append(diffs, *d)
+				break
+			}
+		}
+	}
+	return diffs
+}

@@ -208,6 +208,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.Comparisons = append(res.Comparisons, mcmp)
 	}
+
+	// Ranked retrieval differential over the final (auto-codec, blocked)
+	// merged index: MaxScore and Block-Max-WAND against the exhaustive
+	// scorer, plus the skip-table bounds check on every list.
+	res.Comparisons = append(res.Comparisons, rankComparisons(outDir, pipeline, cfg.MaxDiffs)...)
 	return res, nil
 }
 
